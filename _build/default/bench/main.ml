@@ -1,0 +1,172 @@
+(* The benchmark harness.
+
+   Two halves:
+
+   1. Reproduction: regenerate every table and figure of the paper's
+      evaluation (Figure 5, Table 1, Figure 6, Figure 7, Figure 8) and
+      print them.  Input size comes from the REPRO_INPUT environment
+      variable ("train", the default here, keeps the full harness under
+      a minute; "ref" matches EXPERIMENTS.md).
+
+   2. Timing (Bechamel): one Test.make per table/figure measuring the
+      cost of regenerating (a slice of) it, plus micro-benchmarks of
+      the compiler's own phases — front end, scalar optimizer, HLO,
+      back end, and both execution engines.
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let input =
+  match Sys.getenv_opt "REPRO_INPUT" with
+  | Some "ref" -> Workloads.Suite.Ref
+  | _ -> Workloads.Suite.Train
+
+let input_name =
+  match input with Workloads.Suite.Ref -> "ref" | Workloads.Suite.Train -> "train"
+
+(* ------------------------------------------------------------------ *)
+(* Half 1: the reproduction.                                           *)
+
+let section title = Fmt.pr "@.== %s ==@.@." title
+
+let reproduce () =
+  Fmt.pr "Reproduction of the evaluation of 'Aggressive Inlining' (PLDI'97)@.";
+  Fmt.pr "input set: %s (set REPRO_INPUT=ref for the full runs)@." input_name;
+  section "Figure 5: static characteristics of call sites";
+  print_string
+    (Experiments.Fig5_callsites.to_table (Experiments.Fig5_callsites.run ()));
+  section "Table 1: inline and clone information at scopes base/c/p/cp";
+  print_string
+    (Experiments.Table1_transforms.to_table
+       (Experiments.Table1_transforms.run ~input ()));
+  section "Figure 6: relative speedup with inlining, cloning, or both";
+  print_string
+    (Experiments.Fig6_speedup.to_table (Experiments.Fig6_speedup.run ~input ()));
+  section "Figure 7: simulation results (relative to neither)";
+  print_string
+    (Experiments.Fig7_simulation.to_table (Experiments.Fig7_simulation.run ()));
+  section "Figure 8: incremental benefit of operations (022.li)";
+  print_string
+    (Experiments.Fig8_budget.to_table
+       (Experiments.Fig8_budget.run ~input ~points:8 ()));
+  section "Ablations (staging / cold penalty / outlining / positioning)";
+  List.iter
+    (fun s ->
+      print_string (Experiments.Ablations.to_table s);
+      print_newline ())
+    (Experiments.Ablations.all ~input ());
+  section "I-cache sensitivity (abstract claim)";
+  print_string (Experiments.Cache_sweep.to_table (Experiments.Cache_sweep.run ~input ()));
+  section "Scaling study (paper 3.5): synthetic production-size programs";
+  print_string (Experiments.Scaling.to_table (Experiments.Scaling.run ()))
+
+(* ------------------------------------------------------------------ *)
+(* Half 2: Bechamel timing.                                            *)
+
+(* Shared fixtures, prepared once so the timed bodies measure the
+   phase under test and not setup. *)
+let li = Workloads.Suite.find "022.li"
+let li_program = Workloads.Suite.compile li ~input:Workloads.Suite.Train
+let li_optimized = Opt.Pipeline.optimize_program li_program
+let li_profile = (Interp.train li_program).Interp.profile
+let li_sources = Workloads.Suite.sources li ~input:Workloads.Suite.Train
+let li_image =
+  Machine.Layout.build
+    (Hlo.Driver.run ~profile:li_profile li_program).Hlo.Driver.program
+
+let quick_config =
+  { Hlo.Config.default with Hlo.Config.pass_limit = 2 }
+
+(* One test per table/figure: a representative slice, so the timing
+   stays in micro-benchmark territory. *)
+let table_figure_tests =
+  [ Test.make ~name:"fig5/classify-all-benchmarks"
+      (Staged.stage (fun () -> ignore (Experiments.Fig5_callsites.run ())));
+    Test.make ~name:"table1/022.li-scope-cp"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Table1_transforms.run_one ~input:Workloads.Suite.Train
+                ~base_config:quick_config "022.li" Hlo.Config.CP)));
+    Test.make ~name:"fig6/072.sc-speedups"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Fig6_speedup.run_one ~input:Workloads.Suite.Train
+                ~base_config:quick_config (Workloads.Suite.find "072.sc"))));
+    Test.make ~name:"fig7/147.vortex-simulation"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Fig7_simulation.run_one ~base_config:quick_config
+                "147.vortex")));
+    Test.make ~name:"fig8/022.li-one-point"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Fig8_budget.run_point ~input:Workloads.Suite.Train
+                ~base_config:quick_config li ~budget:100.0 ~cap:10)));
+    Test.make ~name:"ablations/positioning-022.li"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Ablations.positioning ~benchmarks:[ "022.li" ] ())));
+    Test.make ~name:"scaling/8-modules"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Scaling.run_one ~modules:8)));
+    Test.make ~name:"cache-sweep/130.li"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Cache_sweep.run_one "130.li"))) ]
+
+(* Phase micro-benchmarks: where does compile time actually go? *)
+let phase_tests =
+  [ Test.make ~name:"phase/front-end-022.li"
+      (Staged.stage (fun () ->
+           ignore (Minic.Compile.compile_program li_sources)));
+    Test.make ~name:"phase/scalar-optimizer-022.li"
+      (Staged.stage (fun () -> ignore (Opt.Pipeline.optimize_program li_program)));
+    Test.make ~name:"phase/hlo-022.li"
+      (Staged.stage (fun () ->
+           ignore (Hlo.Driver.run ~profile:li_profile li_optimized)));
+    Test.make ~name:"phase/backend-lower-layout-022.li"
+      (Staged.stage (fun () -> ignore (Machine.Layout.build li_optimized)));
+    Test.make ~name:"phase/interp-train-022.li"
+      (Staged.stage (fun () -> ignore (Interp.train li_program)));
+    Test.make ~name:"phase/simulate-022.li"
+      (Staged.stage (fun () -> ignore (Machine.Sim.run li_image))) ]
+
+let benchmark () =
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false
+      ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let tests =
+    Test.make_grouped ~name:"aggressive-inlining"
+      (table_figure_tests @ phase_tests)
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  section "Bechamel timings (per run)";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      rows := (name, estimate) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Fmt.pr "%-40s  (no estimate)@." name
+      else if ns > 1e9 then Fmt.pr "%-40s %10.3f s@." name (ns /. 1e9)
+      else if ns > 1e6 then Fmt.pr "%-40s %10.3f ms@." name (ns /. 1e6)
+      else Fmt.pr "%-40s %10.3f us@." name (ns /. 1e3))
+    (List.sort compare !rows)
+
+let () =
+  reproduce ();
+  benchmark ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,1 @@
+bin/hloc.ml: Arg Cmd Cmdliner Filename Fmt Fun Hlo Interp List Machine Minic Printf String Term Ucode

@@ -1,0 +1,1 @@
+bin/run_experiments.ml: Arg Cmd Cmdliner Experiments Fmt List Term Workloads

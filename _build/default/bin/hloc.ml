@@ -1,0 +1,172 @@
+(* hloc: the MiniC compiler driver.
+
+   Compiles one or more .mc modules, links them, optionally runs the
+   instrumented training interpreter to gather PBO data, applies HLO
+   inlining and cloning at the requested scope and budget, and then
+   either dumps the result or executes it (IR interpreter or VR32
+   machine simulator).
+
+     hloc a.mc b.mc --scope cp --budget 100 --run sim --stats *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let module_name_of_path path = Filename.remove_extension (Filename.basename path)
+
+type runner = Run_none | Run_interp | Run_sim
+
+let compile_and_run files scope budget passes no_inline no_clone max_ops
+    dump_ir dump_asm dump_profile stats runner main =
+  try
+    let sources =
+      List.map
+        (fun path ->
+          Minic.Compile.source ~module_name:(module_name_of_path path)
+            (read_file path))
+        files
+    in
+    let program, diags = Minic.Compile.compile_program ~main sources in
+    List.iter
+      (fun d -> Fmt.epr "%a@." Minic.Diag.pp d)
+      diags;
+    let config =
+      Hlo.Config.with_scope
+        { Hlo.Config.default with
+          Hlo.Config.budget_percent = budget; pass_limit = passes;
+          enable_inlining = not no_inline; enable_cloning = not no_clone;
+          max_operations = max_ops }
+        scope
+    in
+    let profile =
+      if config.Hlo.Config.use_profile then begin
+        let r = Interp.train program in
+        if stats then
+          Fmt.pr "[train] %d IR steps, output %d bytes@." r.Interp.steps
+            (String.length r.Interp.output);
+        r.Interp.profile
+      end
+      else Ucode.Profile.empty
+    in
+    if dump_profile then Fmt.pr "%a@." Ucode.Profile.pp profile;
+    let result = Hlo.Driver.run ~config ~profile program in
+    let optimized = result.Hlo.Driver.program in
+    if stats then
+      Fmt.pr "[hlo] %a@." Hlo.Report.pp result.Hlo.Driver.report;
+    if dump_ir then Fmt.pr "%a@." Ucode.Pp.pp_program optimized;
+    if dump_asm then Fmt.pr "%a@." Machine.Layout.pp (Machine.Layout.build optimized);
+    (match runner with
+    | Run_none -> ()
+    | Run_interp ->
+      let r = Interp.run optimized in
+      print_string r.Interp.output;
+      if stats then Fmt.pr "[interp] exit=%Ld steps=%d@." r.Interp.exit_code
+          r.Interp.steps
+    | Run_sim ->
+      let r = Machine.Sim.run_program optimized in
+      print_string r.Machine.Sim.output;
+      if stats then
+        Fmt.pr "[sim] exit=%Ld %a@." r.Machine.Sim.exit_code Machine.Metrics.pp
+          r.Machine.Sim.metrics);
+    `Ok ()
+  with
+  | Minic.Diag.Compile_error diags ->
+    List.iter (fun d -> Fmt.epr "%a@." Minic.Diag.pp d) diags;
+    `Error (false, "compilation failed")
+  | Sys_error msg -> `Error (false, msg)
+  | Ucode.Linker.Link_error msg -> `Error (false, "link error: " ^ msg)
+  | Interp.Trap (t, where) ->
+    `Error (false, Printf.sprintf "trap in %s: %s" where (Interp.trap_message t))
+  | Machine.Sim.Trap (t, pc) ->
+    `Error
+      (false, Printf.sprintf "machine trap at %d: %s" pc (Machine.Sim.trap_message t))
+
+let files =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.mc"
+         ~doc:"MiniC source modules; the module name is the file basename.")
+
+let scope =
+  let parse = function
+    | "base" -> Ok Hlo.Config.Base
+    | "c" -> Ok Hlo.Config.C
+    | "p" -> Ok Hlo.Config.P
+    | "cp" -> Ok Hlo.Config.CP
+    | s -> Error (`Msg ("unknown scope " ^ s))
+  in
+  let print ppf s = Fmt.string ppf (Hlo.Config.scope_name s) in
+  Arg.(value
+       & opt (conv (parse, print)) Hlo.Config.CP
+       & info [ "scope" ] ~docv:"SCOPE"
+           ~doc:"Optimization scope: $(b,base) (per-module), $(b,c) \
+                 (cross-module), $(b,p) (profile feedback), $(b,cp) (both).")
+
+let budget =
+  Arg.(value & opt float 100.0
+       & info [ "budget" ] ~docv:"PERCENT"
+           ~doc:"Compile-time growth budget as a percentage (paper default \
+                 100).")
+
+let passes =
+  Arg.(value & opt int 4
+       & info [ "passes" ] ~docv:"N" ~doc:"Maximum clone+inline pass pairs.")
+
+let no_inline =
+  Arg.(value & flag & info [ "no-inline" ] ~doc:"Disable inlining.")
+
+let no_clone = Arg.(value & flag & info [ "no-clone" ] ~doc:"Disable cloning.")
+
+let max_ops =
+  Arg.(value & opt (some int) None
+       & info [ "max-operations" ] ~docv:"N"
+           ~doc:"Artificially stop after N inline/clone operations (the \
+                 Figure 8 instrumentation).")
+
+let dump_ir =
+  Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the optimized ucode.")
+
+let dump_asm =
+  Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the VR32 disassembly.")
+
+let dump_profile =
+  Arg.(value & flag
+       & info [ "dump-profile" ]
+           ~doc:"Print the training profile database (block and call-site                  counts).")
+
+let stats =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print transformation and run statistics.")
+
+let runner =
+  let parse = function
+    | "none" -> Ok Run_none
+    | "interp" -> Ok Run_interp
+    | "sim" -> Ok Run_sim
+    | s -> Error (`Msg ("unknown runner " ^ s))
+  in
+  let print ppf = function
+    | Run_none -> Fmt.string ppf "none"
+    | Run_interp -> Fmt.string ppf "interp"
+    | Run_sim -> Fmt.string ppf "sim"
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Run_sim
+       & info [ "run" ] ~docv:"ENGINE"
+           ~doc:"Execute the result: $(b,interp), $(b,sim) or $(b,none).")
+
+let entry_name =
+  Arg.(value & opt string "main"
+       & info [ "main" ] ~docv:"NAME" ~doc:"Entry routine.")
+
+let cmd =
+  let doc = "profile-guided cross-module inlining and cloning for MiniC" in
+  let info = Cmd.info "hloc" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(ret
+            (const compile_and_run $ files $ scope $ budget $ passes $ no_inline
+            $ no_clone $ max_ops $ dump_ir $ dump_asm $ dump_profile $ stats
+            $ runner $ entry_name))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/cross_module.ml: Fmt Hlo Interp List Machine Minic String Ucode

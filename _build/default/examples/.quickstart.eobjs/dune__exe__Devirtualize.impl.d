@@ -1,0 +1,1 @@
+examples/devirtualize.ml: Fmt Hlo Interp List Machine Minic String Ucode

@@ -1,0 +1,1 @@
+examples/profile_guided.ml: Fmt Hlo Interp List Machine Minic String Ucode

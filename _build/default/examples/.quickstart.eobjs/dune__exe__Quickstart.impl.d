@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Hlo Interp List Machine Minic String Ucode

@@ -1,0 +1,114 @@
+(* Cross-module optimization via the isom path (paper §2.1) and the
+   072.sc dead-stub story (§3.1).
+
+   An "application" module drives a "display" module whose routines are
+   stubs that compute nothing anybody uses — exactly the special curses
+   library shipped with the SPEC version of sc.  Two things happen:
+
+   - HLO's interprocedural analysis proves the stubs side-effect-free
+     and deletes the calls before any budget is spent on them;
+   - cross-module inlining flattens the real work, which a per-module
+     compile cannot touch.
+
+     dune exec examples/cross_module.exe *)
+
+module U = Ucode.Types
+
+let display = {|
+// A stubbed display library: pure, loop-free, result-ignored.
+func move_to(r, c) { return r * 80 + c; }
+func draw_cell(v) { return v & 255; }
+func refresh() { return 0; }
+|}
+
+let cells = {|
+public global grid[256];
+
+func cell_at(r, c) { return grid[(r * 16 + c) & 255]; }
+func put_cell(r, c, v) { grid[(r * 16 + c) & 255] = v; return 0; }
+|}
+
+let engine = {|
+func step_row(r) {
+  var changed = 0;
+  for (var c = 0; c < 16; c = c + 1) {
+    var v = cell_at(r, c);
+    var next = (v * 3 + cell_at(r, (c + 1) & 15)) % 9973;
+    move_to(r, c);        // stub call in the hot loop
+    draw_cell(next);      // stub call in the hot loop
+    if (next != v) {
+      put_cell(r, c, next);
+      changed = changed + 1;
+    }
+  }
+  refresh();
+  return changed;
+}
+|}
+
+let app = {|
+func main() {
+  for (var i = 0; i < 256; i = i + 1) { grid[i] = i * 7 % 97; }
+  var total = 0;
+  for (var round = 0; round < 60; round = round + 1) {
+    for (var r = 0; r < 16; r = r + 1) {
+      total = total + step_row(r);
+    }
+  }
+  print_int(total % 999983);
+  return 0;
+}
+|}
+
+let stub_calls (p : U.program) =
+  List.fold_left
+    (fun acc (r : U.routine) ->
+      acc
+      + List.length
+          (List.filter
+             (fun (_, c) ->
+               match c.U.c_callee with
+               | U.Direct ("move_to" | "draw_cell" | "refresh") -> true
+               | _ -> false)
+             (U.calls_of_routine r)))
+    0 p.U.p_routines
+
+let compile () =
+  fst
+    (Minic.Compile.compile_program
+       [ Minic.Compile.source ~module_name:"display" display;
+         Minic.Compile.source ~module_name:"cells" cells;
+         Minic.Compile.source ~module_name:"engine" engine;
+         Minic.Compile.source ~module_name:"app" app ])
+
+let () =
+  let program = compile () in
+  Fmt.pr "stub calls in the source program: %d@." (stub_calls program);
+
+  let train = Interp.train program in
+  let run scope =
+    let config = Hlo.Config.with_scope Hlo.Config.default scope in
+    let result = Hlo.Driver.run ~config ~profile:train.Interp.profile program in
+    let sim = Machine.Sim.run_program result.Hlo.Driver.program in
+    (result, sim)
+  in
+  let module_only, sim_base = run Hlo.Config.P in
+  let cross, sim_cross = run Hlo.Config.CP in
+  assert (String.equal sim_base.Machine.Sim.output sim_cross.Machine.Sim.output);
+
+  Fmt.pr "@.per-module compile (scope p):@.";
+  Fmt.pr "  %a@." Hlo.Report.pp module_only.Hlo.Driver.report;
+  Fmt.pr "  stub calls left: %d, cycles: %d@."
+    (stub_calls module_only.Hlo.Driver.program)
+    sim_base.Machine.Sim.metrics.Machine.Metrics.cycles;
+
+  Fmt.pr "@.cross-module compile (scope cp):@.";
+  Fmt.pr "  %a@." Hlo.Report.pp cross.Hlo.Driver.report;
+  Fmt.pr "  stub calls left: %d, cycles: %d@."
+    (stub_calls cross.Hlo.Driver.program)
+    sim_cross.Machine.Sim.metrics.Machine.Metrics.cycles;
+
+  Fmt.pr "@.cross-module speedup: %.2fx (output %s)@."
+    (float_of_int sim_base.Machine.Sim.metrics.Machine.Metrics.cycles
+    /. float_of_int sim_cross.Machine.Sim.metrics.Machine.Metrics.cycles)
+    (String.trim sim_cross.Machine.Sim.output)

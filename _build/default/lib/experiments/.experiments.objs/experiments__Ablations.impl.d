@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Hlo Interp List Machine Pipeline Printf Tables Workloads

@@ -1,0 +1,1 @@
+lib/experiments/cache_sweep.ml: Hlo List Machine Pipeline Printf String Tables Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig5_callsites.ml: List Tables Ucode Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig6_speedup.ml: Hlo List Machine Pipeline Tables Workloads

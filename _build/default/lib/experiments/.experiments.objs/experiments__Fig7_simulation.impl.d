@@ -1,0 +1,1 @@
+lib/experiments/fig7_simulation.ml: Hlo List Machine Pipeline Tables Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig8_budget.ml: Hlo List Machine Pipeline Printf Tables Workloads

@@ -1,0 +1,1 @@
+lib/experiments/pipeline.ml: Hlo Interp Machine Printf String Sys Ucode Workloads

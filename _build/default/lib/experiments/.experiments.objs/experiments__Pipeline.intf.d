@@ -1,0 +1,1 @@
+lib/experiments/pipeline.mli: Hlo Machine Ucode Workloads

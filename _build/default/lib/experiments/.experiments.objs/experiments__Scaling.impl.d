@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Hlo Interp List Machine Sys Tables Ucode Workloads

@@ -1,0 +1,1 @@
+lib/experiments/table1_transforms.ml: Hlo List Machine Pipeline Printf Tables Workloads

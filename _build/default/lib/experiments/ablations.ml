@@ -1,0 +1,146 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Each study toggles one mechanism and reports what it buys on a
+    subset of the suite:
+
+    - {b staging}: the budget is released in stages across passes
+      (Figure 2's [S[0..limit-1]]) versus handing the whole allowance
+      to pass 0;
+    - {b cold-penalty}: the inliner's penalty for call sites executed
+      less often than their caller's entry versus treating all sites
+      by raw frequency;
+    - {b outlining}: the §5 "aggressive outlining" extension on/off;
+    - {b positioning}: Pettis–Hansen profile-guided code positioning
+      of the post-HLO image versus program-order layout, measured on a
+      deliberately small I-cache where placement conflicts matter. *)
+
+type variant_row = {
+  a_benchmark : string;
+  a_variant : string;
+  a_cycles : int;
+  a_detail : string;  (** study-specific extra column *)
+}
+
+type study = {
+  st_name : string;
+  st_detail_label : string;
+  st_rows : variant_row list;
+}
+
+let default_benchmarks = [ "022.li"; "124.m88ksim"; "147.vortex"; "072.sc" ]
+
+let profile_and_program ?(input = Workloads.Suite.Train) name =
+  let b = Workloads.Suite.find name in
+  let profile = Pipeline.train_profile b in
+  let program = Workloads.Suite.compile b ~input in
+  (profile, program)
+
+let simulate ?sim_config p = (Machine.Sim.run_program ?config:sim_config p)
+
+(* ------------------------------------------------------------------ *)
+
+let staging ?input ?(benchmarks = default_benchmarks) () : study =
+  let rows =
+    List.concat_map
+      (fun name ->
+        let profile, program = profile_and_program ?input name in
+        let run staging label =
+          let config = { Hlo.Config.default with Hlo.Config.staging } in
+          let res = Hlo.Driver.run ~config ~profile program in
+          let sim = simulate res.Hlo.Driver.program in
+          { a_benchmark = name; a_variant = label;
+            a_cycles = sim.Machine.Sim.metrics.Machine.Metrics.cycles;
+            a_detail =
+              string_of_int (Hlo.Report.total_operations res.Hlo.Driver.report) }
+        in
+        [ run [ 0.25; 0.5; 0.75; 1.0 ] "staged";
+          run [ 1.0 ] "all-upfront" ])
+      benchmarks
+  in
+  { st_name = "budget staging"; st_detail_label = "operations"; st_rows = rows }
+
+let cold_penalty ?input ?(benchmarks = default_benchmarks) () : study =
+  let rows =
+    List.concat_map
+      (fun name ->
+        let profile, program = profile_and_program ?input name in
+        let run penalty label =
+          let config =
+            { Hlo.Config.default with Hlo.Config.cold_site_penalty = penalty }
+          in
+          let res = Hlo.Driver.run ~config ~profile program in
+          let sim = simulate res.Hlo.Driver.program in
+          { a_benchmark = name; a_variant = label;
+            a_cycles = sim.Machine.Sim.metrics.Machine.Metrics.cycles;
+            a_detail = string_of_int res.Hlo.Driver.report.Hlo.Report.inlines }
+        in
+        [ run 0.25 "penalized"; run 1.0 "raw-frequency" ])
+      benchmarks
+  in
+  { st_name = "cold-site penalty"; st_detail_label = "inlines"; st_rows = rows }
+
+let outlining ?input ?(benchmarks = default_benchmarks) () : study =
+  let rows =
+    List.concat_map
+      (fun name ->
+        let profile, program = profile_and_program ?input name in
+        let run enable label =
+          let config =
+            { Hlo.Config.default with Hlo.Config.enable_outlining = enable }
+          in
+          let res = Hlo.Driver.run ~config ~profile program in
+          let sim = simulate res.Hlo.Driver.program in
+          { a_benchmark = name; a_variant = label;
+            a_cycles = sim.Machine.Sim.metrics.Machine.Metrics.cycles;
+            a_detail =
+              Printf.sprintf "%d outlined / cost %.0f"
+                res.Hlo.Driver.report.Hlo.Report.outlined
+                res.Hlo.Driver.report.Hlo.Report.cost_after }
+        in
+        [ run false "inline-only"; run true "outline+inline" ])
+      benchmarks
+  in
+  { st_name = "aggressive outlining (paper §5)";
+    st_detail_label = "outlined/cost"; st_rows = rows }
+
+(** A small, direct-mapped I-cache where routine placement decides
+    which hot pairs conflict. *)
+let tight_icache_sim =
+  { Machine.Sim.default_config with
+    Machine.Sim.icache = { Machine.Cache.sets = 48; assoc = 1; line_words = 8 } }
+
+let positioning ?input ?(benchmarks = default_benchmarks) () : study =
+  let rows =
+    List.concat_map
+      (fun name ->
+        let profile, program = profile_and_program ?input name in
+        let res = Hlo.Driver.run ~profile program in
+        let optimized = res.Hlo.Driver.program in
+        let trained = (Interp.train optimized).Interp.profile in
+        let run p label =
+          let sim = simulate ~sim_config:tight_icache_sim p in
+          { a_benchmark = name; a_variant = label;
+            a_cycles = sim.Machine.Sim.metrics.Machine.Metrics.cycles;
+            a_detail =
+              string_of_int sim.Machine.Sim.metrics.Machine.Metrics.icache_misses }
+        in
+        [ run optimized "program-order";
+          run (Machine.Positioning.apply optimized trained) "pettis-hansen" ])
+      benchmarks
+  in
+  { st_name = "profile-guided code positioning (Pettis-Hansen, [12])";
+    st_detail_label = "I$ misses"; st_rows = rows }
+
+let all ?input ?benchmarks () : study list =
+  [ staging ?input ?benchmarks (); cold_penalty ?input ?benchmarks ();
+    outlining ?input ?benchmarks (); positioning ?input ?benchmarks () ]
+
+let to_table (s : study) : string =
+  Printf.sprintf "-- %s --\n%s" s.st_name
+    (Tables.render
+       ~aligns:[ Tables.Left; Tables.Left ]
+       ~headers:[ "benchmark"; "variant"; "run(cycles)"; s.st_detail_label ]
+       (List.map
+          (fun r ->
+            [ r.a_benchmark; r.a_variant; string_of_int r.a_cycles; r.a_detail ])
+          s.st_rows))

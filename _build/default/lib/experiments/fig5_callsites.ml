@@ -1,0 +1,38 @@
+(** Figure 5: static characteristics of call sites.
+
+    For each benchmark, the call sites of the linked (unoptimized)
+    program are classified as external / indirect / cross-module /
+    within-module / recursive, plus the total count — the paper's
+    stacked bars with the total printed at the right. *)
+
+module CG = Ucode.Callgraph
+
+type row = {
+  benchmark : string;
+  suite : Workloads.Suite.spec_suite;
+  counts : (CG.site_class * int) list;
+  total : int;
+}
+
+let classify_benchmark (b : Workloads.Suite.benchmark) : row =
+  let p = Workloads.Suite.compile b ~input:Workloads.Suite.Ref in
+  let cg = CG.build p in
+  { benchmark = b.Workloads.Suite.b_name; suite = b.Workloads.Suite.b_suite;
+    counts = CG.classify cg; total = CG.total_sites cg }
+
+let run () : row list = List.map classify_benchmark Workloads.Suite.all
+
+let to_table (rows : row list) : string =
+  let headers =
+    "benchmark" :: List.map CG.site_class_name CG.all_site_classes @ [ "total" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        r.benchmark
+        :: List.map (fun c -> string_of_int (List.assoc c r.counts))
+             CG.all_site_classes
+        @ [ string_of_int r.total ])
+      rows
+  in
+  Tables.render ~aligns:[ Tables.Left ] ~headers body

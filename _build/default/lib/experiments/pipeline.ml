@@ -1,0 +1,69 @@
+(** The end-to-end measurement pipeline shared by all experiments,
+    mirroring the paper's methodology (§3):
+
+    1. compile the benchmark's modules and link them (the isom path);
+    2. when the scope includes profile feedback, compile the *train*
+       configuration, run it instrumented in the IR interpreter, and
+       keep the profile database (site and block ids are stable across
+       the two configurations, which differ only in a data constant —
+       just as SPEC train/ref differ only in inputs);
+    3. run HLO at the requested scope/transform configuration on the
+       *ref* configuration;
+    4. lower to VR32, lay out, and simulate: cycles are the "run time",
+       and the ucode cost model supplies the "compile time" units. *)
+
+module U = Ucode.Types
+
+type run = {
+  r_benchmark : Workloads.Suite.benchmark;
+  r_config : Hlo.Config.t;
+  r_program : U.program;        (** after HLO *)
+  r_report : Hlo.Report.t;
+  r_metrics : Machine.Metrics.t;
+  r_output : string;            (** simulated program output (checked) *)
+  r_compile_seconds : float;    (** wall clock of the compile half *)
+}
+
+(** Profile a benchmark: compile at train size, run instrumented. *)
+let train_profile (b : Workloads.Suite.benchmark) : Ucode.Profile.t =
+  let p = Workloads.Suite.compile b ~input:Workloads.Suite.Train in
+  (Interp.train p).Interp.profile
+
+(** Compile and simulate one benchmark under an HLO configuration. *)
+let run_benchmark ?(input = Workloads.Suite.Ref) ?(sim_config : Machine.Sim.config option)
+    ~(config : Hlo.Config.t) (b : Workloads.Suite.benchmark) : run =
+  let t0 = Sys.time () in
+  let profile =
+    if config.Hlo.Config.use_profile then train_profile b
+    else Ucode.Profile.empty
+  in
+  let program = Workloads.Suite.compile b ~input in
+  let result = Hlo.Driver.run ~config ~profile program in
+  let t1 = Sys.time () in
+  let sim = Machine.Sim.run_program ?config:sim_config result.Hlo.Driver.program in
+  (* Guard against miscompilation: the transformed program must produce
+     the same output as the unoptimized original. *)
+  let reference = Interp.run program in
+  if not (String.equal reference.Interp.output sim.Machine.Sim.output) then
+    invalid_arg
+      (Printf.sprintf "pipeline: %s output changed under HLO (%s scope)"
+         b.Workloads.Suite.b_name
+         (if config.Hlo.Config.cross_module then "cross-module" else "module"));
+  { r_benchmark = b; r_config = config; r_program = result.Hlo.Driver.program;
+    r_report = result.Hlo.Driver.report; r_metrics = sim.Machine.Sim.metrics;
+    r_output = sim.Machine.Sim.output; r_compile_seconds = t1 -. t0 }
+
+(** The four transform configurations of Figure 6. *)
+type transforms = Neither | Inline_only | Clone_only | Both
+
+let transforms_name = function
+  | Neither -> "neither"
+  | Inline_only -> "inline"
+  | Clone_only -> "clone"
+  | Both -> "inline and clone"
+
+let config_of_transforms ?(base = Hlo.Config.default) = function
+  | Neither -> Hlo.Config.with_transforms base ~inline:false ~clone:false
+  | Inline_only -> Hlo.Config.with_transforms base ~inline:true ~clone:false
+  | Clone_only -> Hlo.Config.with_transforms base ~inline:false ~clone:true
+  | Both -> Hlo.Config.with_transforms base ~inline:true ~clone:true

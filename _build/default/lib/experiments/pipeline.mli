@@ -1,0 +1,33 @@
+(** The end-to-end measurement pipeline shared by all experiments:
+    compile, (optionally) train-profile, run HLO at a configuration,
+    lower, simulate — with an output-equality guard against the
+    untransformed program. *)
+
+type run = {
+  r_benchmark : Workloads.Suite.benchmark;
+  r_config : Hlo.Config.t;
+  r_program : Ucode.Types.program;  (** after HLO *)
+  r_report : Hlo.Report.t;
+  r_metrics : Machine.Metrics.t;
+  r_output : string;
+  r_compile_seconds : float;  (** wall clock of the compile half *)
+}
+
+(** Compile at train size and run instrumented. *)
+val train_profile : Workloads.Suite.benchmark -> Ucode.Profile.t
+
+(** Compile and simulate one benchmark under an HLO configuration.
+    Raises if the transformed program's output differs from the
+    original's. *)
+val run_benchmark :
+  ?input:Workloads.Suite.input ->
+  ?sim_config:Machine.Sim.config ->
+  config:Hlo.Config.t ->
+  Workloads.Suite.benchmark ->
+  run
+
+(** The four transform configurations of Figure 6. *)
+type transforms = Neither | Inline_only | Clone_only | Both
+
+val transforms_name : transforms -> string
+val config_of_transforms : ?base:Hlo.Config.t -> transforms -> Hlo.Config.t

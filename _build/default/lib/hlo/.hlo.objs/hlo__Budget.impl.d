@@ -1,0 +1,1 @@
+lib/hlo/budget.ml: Array Config Float

@@ -1,0 +1,1 @@
+lib/hlo/budget.mli: Config

@@ -1,0 +1,1 @@
+lib/hlo/clone_spec.ml: Array Config Int64 List Printf String Summaries Ucode

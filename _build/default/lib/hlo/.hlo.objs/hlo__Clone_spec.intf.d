@@ -1,0 +1,1 @@
+lib/hlo/clone_spec.mli: Config Summaries Ucode

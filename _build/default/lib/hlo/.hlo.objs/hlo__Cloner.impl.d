@@ -1,0 +1,1 @@
+lib/hlo/cloner.ml: Budget Clone_spec Config Float Hashtbl List Option Report State Summaries Ucode

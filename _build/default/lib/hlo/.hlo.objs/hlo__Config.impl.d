@@ -1,0 +1,1 @@
+lib/hlo/config.ml:

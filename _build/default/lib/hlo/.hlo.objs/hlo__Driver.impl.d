@@ -1,0 +1,1 @@
+lib/hlo/driver.ml: Budget Cloner Config Hashtbl Inliner List Opt Outliner Printf Report State Ucode

@@ -1,0 +1,1 @@
+lib/hlo/driver.mli: Config Report Ucode

@@ -1,0 +1,1 @@
+lib/hlo/inliner.ml: Budget Config Float Hashtbl List Option Report State Summaries Ucode

@@ -1,0 +1,1 @@
+lib/hlo/inliner.mli: State

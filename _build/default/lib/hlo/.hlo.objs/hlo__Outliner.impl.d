@@ -1,0 +1,1 @@
+lib/hlo/outliner.ml: Hashtbl List Opt Printf State Ucode

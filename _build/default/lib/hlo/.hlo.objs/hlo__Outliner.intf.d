@@ -1,0 +1,1 @@
+lib/hlo/outliner.mli: State Ucode

@@ -1,0 +1,1 @@
+lib/hlo/report.ml: Fmt List Printf Ucode

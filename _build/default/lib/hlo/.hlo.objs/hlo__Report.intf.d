@@ -1,0 +1,1 @@
+lib/hlo/report.mli: Format Ucode

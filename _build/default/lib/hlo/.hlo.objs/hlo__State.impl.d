@@ -1,0 +1,1 @@
+lib/hlo/state.ml: Budget Config Hashtbl Printf Report Ucode

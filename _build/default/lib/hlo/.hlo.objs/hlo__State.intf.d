@@ -1,0 +1,1 @@
+lib/hlo/state.mli: Budget Config Hashtbl Report Ucode

@@ -1,0 +1,1 @@
+lib/hlo/summaries.ml: Array Config Hashtbl List Opt Option Ucode

@@ -1,0 +1,1 @@
+lib/hlo/summaries.mli: Config Ucode

@@ -1,0 +1,123 @@
+(** Clone specifications.
+
+    A clone spec records which formals of a callee are fixed to which
+    caller-supplied constants.  Intersecting a calling-context
+    descriptor S(E) with a parameter-usage descriptor P(R) yields the
+    spec of the clone that call site would like to exist; other sites
+    whose context *matches* the spec can share the clone (forming the
+    paper's clone group). *)
+
+module U = Ucode.Types
+
+type binding = Bconst of int64 | Bfun of string
+
+(** Bindings ordered by ascending formal index. *)
+type t = { cs_callee : string; cs_bindings : (int * binding) list }
+
+let is_empty t = t.cs_bindings = []
+
+let binding_to_string = function
+  | Bconst k -> Int64.to_string k
+  | Bfun f -> "&" ^ f
+
+let to_string t =
+  Printf.sprintf "%s(%s)" t.cs_callee
+    (String.concat ","
+       (List.map
+          (fun (i, b) -> Printf.sprintf "#%d=%s" i (binding_to_string b))
+          t.cs_bindings))
+
+(** A stable key for the clone database. *)
+let key t = to_string t
+
+(** Intersect what the caller knows (S(E)) with what the callee can use
+    (P(R)): keep bindings for formals the caller pins to a constant and
+    the callee actually profits from knowing. *)
+let intersect ~(callee : U.routine) ~(context : Summaries.context_value list)
+    ~(usage : Summaries.param_usage) : t option =
+  let nparams = List.length callee.U.r_params in
+  if List.length context <> nparams then None
+  else begin
+    let bindings =
+      List.filteri (fun i _ -> i < nparams) context
+      |> List.mapi (fun i v -> (i, v))
+      |> List.filter_map (fun (i, v) ->
+             if usage.Summaries.pu_weights.(i) <= 0.0 then None
+             else
+               match v with
+               | Summaries.Cconst k -> Some (i, Bconst k)
+               | Summaries.Cfun f -> Some (i, Bfun f)
+               | Summaries.Cunknown -> None)
+    in
+    if bindings = [] then None
+    else Some { cs_callee = callee.U.r_name; cs_bindings = bindings }
+  end
+
+(** Does a site's context supply every binding of the spec?  (It may
+    know *more*; the spec only uses what it lists.) *)
+let matches (context : Summaries.context_value list) (t : t) : bool =
+  List.for_all
+    (fun (i, b) ->
+      match (List.nth_opt context i, b) with
+      | Some (Summaries.Cconst k), Bconst k' -> Int64.equal k k'
+      | Some (Summaries.Cfun f), Bfun f' -> String.equal f f'
+      | _ -> false)
+    t.cs_bindings
+
+(** Value of the spec to the callee: sum of the interest weights of the
+    bound formals, with the configured bonus when a bound routine
+    handle feeds an indirect call. *)
+let value ~(config : Config.t) ~(usage : Summaries.param_usage) (t : t) : float =
+  List.fold_left
+    (fun acc (i, b) ->
+      let w = usage.Summaries.pu_weights.(i) in
+      let w =
+        match b with
+        | Bfun _ when usage.Summaries.pu_indirect.(i) ->
+          w *. config.Config.indirect_bonus
+        | _ -> w
+      in
+      acc +. w)
+    0.0 t.cs_bindings
+
+(** Materialize the clone: copy the body under [clone_name], drop the
+    bound formals from the signature, and prepend their initializers
+    to the entry block.  Returns the clone and the site renaming of the
+    copied body (for profile transfer). *)
+let make_clone ~(callee : U.routine) ~(clone_name : string)
+    ~(fresh_site : unit -> U.site) (t : t) : U.routine * (U.site * U.site) list =
+  let clone, site_map =
+    Ucode.Rename.copy_routine callee ~new_name:clone_name ~fresh_site
+  in
+  let bound = List.map fst t.cs_bindings in
+  let params =
+    List.filteri (fun i _ -> not (List.mem i bound)) clone.U.r_params
+  in
+  let param_array = Array.of_list clone.U.r_params in
+  let inits =
+    List.map
+      (fun (i, b) ->
+        let reg = param_array.(i) in
+        match b with
+        | Bconst k -> U.Const (reg, k)
+        | Bfun f -> U.Faddr (reg, f))
+      t.cs_bindings
+  in
+  let blocks =
+    match clone.U.r_blocks with
+    | entry :: rest ->
+      { entry with U.b_instrs = inits @ entry.U.b_instrs } :: rest
+    | [] -> invalid_arg "Clone_spec.make_clone: no blocks"
+  in
+  ( { clone with U.r_params = params; U.r_blocks = blocks;
+      U.r_linkage = U.Module_local },
+    site_map )
+
+(** Rewrite one call site to target the clone, dropping the actuals the
+    clone has absorbed. *)
+let retarget_call (t : t) ~(clone_name : string) (c : U.call) : U.call =
+  let bound = List.map fst t.cs_bindings in
+  let args =
+    List.filteri (fun i _ -> not (List.mem i bound)) c.U.c_args
+  in
+  { c with U.c_callee = U.Direct clone_name; U.c_args = args }

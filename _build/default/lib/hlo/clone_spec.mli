@@ -1,0 +1,49 @@
+(** Clone specifications: which formals of a callee are pinned to which
+    caller-supplied constants.  Intersecting S(E) with P(R) yields the
+    spec of the clone a site wants; other sites whose context matches
+    share the clone (the paper's clone group). *)
+
+type binding = Bconst of int64 | Bfun of string
+
+type t = {
+  cs_callee : string;
+  cs_bindings : (int * binding) list;  (** ascending formal index *)
+}
+
+val is_empty : t -> bool
+val to_string : t -> string
+
+(** Stable key for the clone database. *)
+val key : t -> string
+
+(** Keep bindings for formals the caller pins to a constant *and* the
+    callee profits from knowing; [None] when there are none or the
+    arity disagrees (an illegal site). *)
+val intersect :
+  callee:Ucode.Types.routine ->
+  context:Summaries.context_value list ->
+  usage:Summaries.param_usage ->
+  t option
+
+(** Does the site's context supply every binding of the spec? *)
+val matches : Summaries.context_value list -> t -> bool
+
+(** Value of the spec to the callee: summed interest weights of the
+    bound formals, with the configured bonus for a routine handle that
+    feeds an indirect call. *)
+val value : config:Config.t -> usage:Summaries.param_usage -> t -> float
+
+(** Materialize the clone: copy under [clone_name], drop the bound
+    formals from the signature, prepend their initializers to the
+    entry block.  Returns the clone (module-local) and the site
+    renaming of the copied body. *)
+val make_clone :
+  callee:Ucode.Types.routine ->
+  clone_name:string ->
+  fresh_site:(unit -> Ucode.Types.site) ->
+  t ->
+  Ucode.Types.routine * (Ucode.Types.site * Ucode.Types.site) list
+
+(** Retarget one call to the clone, dropping the absorbed actuals. *)
+val retarget_call :
+  t -> clone_name:string -> Ucode.Types.call -> Ucode.Types.call

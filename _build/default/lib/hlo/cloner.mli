@@ -1,0 +1,9 @@
+(** The cloning pass (Figure 3): intersect calling contexts S(E) with
+    parameter usage P(R) into clone specs, greedily sweep compatible
+    sites into clone groups, rank groups by benefit, materialize under
+    the stage budget (free when the clonee provably dies), reuse clones
+    recorded in the database, and retarget the grouped sites. *)
+
+(** Run one pass under the stage-[pass] allotment; returns the names of
+    routines created or modified. *)
+val run_pass : State.t -> pass:int -> string list

@@ -1,0 +1,66 @@
+(** HLO configuration.
+
+    The knobs correspond to the paper's user controls: the compile-time
+    growth budget (a percentage over the no-inlining compile cost,
+    default 100 as in §3.4), the pass limit for the alternating
+    clone/inline loop, scope switches (cross-module, profile use) and
+    the Figure 8 instrumentation that artificially stops the optimizer
+    after a fixed number of operations. *)
+
+type t = {
+  budget_percent : float;
+      (** allowed compile-cost increase; 100.0 = the paper's default *)
+  pass_limit : int;  (** maximum clone+inline pass pairs (default 4) *)
+  staging : float list;
+      (** cumulative fraction of the budget available at each pass;
+          must be nondecreasing and end at 1.0 *)
+  enable_inlining : bool;
+  enable_cloning : bool;
+  cross_module : bool;
+      (** allow transformations across module boundaries (the paper's
+          "c" scope) *)
+  use_profile : bool;
+      (** feed profile data to the heuristics (the paper's "p" scope) *)
+  max_operations : int option;
+      (** stop after this many inline/clone-replacement operations
+          (used to draw Figure 8); [None] = unlimited *)
+  optimize_between_passes : bool;
+      (** run the scalar optimizer on transformed routines after each
+          pass ("optimize clones and recalibrate") *)
+  cold_site_penalty : float;
+      (** benefit multiplier for call sites colder than their caller's
+          entry block (default 0.25) *)
+  indirect_bonus : float;
+      (** benefit multiplier when cloning feeds a constant routine
+          handle into an indirect call's function position *)
+  enable_outlining : bool;
+      (** extract cold single-entry regions into routines of their own
+          before inlining starts — the paper's §5 "aggressive
+          outlining" future work; requires profile data *)
+  validate : bool;  (** check IR invariants after each pass (testing) *)
+}
+
+let default =
+  { budget_percent = 100.0; pass_limit = 4;
+    staging = [ 0.25; 0.5; 0.75; 1.0 ]; enable_inlining = true;
+    enable_cloning = true; cross_module = true; use_profile = true;
+    max_operations = None; optimize_between_passes = true;
+    cold_site_penalty = 0.25; indirect_bonus = 4.0;
+    enable_outlining = false; validate = false }
+
+(** The four measurement scopes of Table 1: base (per-module, no
+    profile), [c] = cross-module, [p] = profile, [cp] = both. *)
+type scope = Base | C | P | CP
+
+let scope_name = function Base -> "base" | C -> "c" | P -> "p" | CP -> "cp"
+
+let with_scope t = function
+  | Base -> { t with cross_module = false; use_profile = false }
+  | C -> { t with cross_module = true; use_profile = false }
+  | P -> { t with cross_module = false; use_profile = true }
+  | CP -> { t with cross_module = true; use_profile = true }
+
+(** Figure 6 configurations: inline only / clone only / both /
+    neither. *)
+let with_transforms t ~inline ~clone =
+  { t with enable_inlining = inline; enable_cloning = clone }

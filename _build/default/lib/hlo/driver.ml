@@ -1,0 +1,143 @@
+(** The multi-pass HLO driver (Figure 2 of the paper).
+
+    HLO alternates cloning and inlining passes until the budget is
+    exhausted, the pass limit is reached, or a pass performs no work.
+    Between passes, routines touched by the transformations are re-run
+    through the scalar optimizer — this is what makes the passes
+    *staged*: constants cloned in during pass [k] propagate to call
+    sites that only become interesting (inlinable, clonable, or
+    devirtualizable) in pass [k+1].  The budget is recalibrated from
+    measured sizes after each optimization round, so shrinkage earns
+    budget back. *)
+
+module U = Ucode.Types
+
+type result = {
+  program : U.program;
+  profile : Ucode.Profile.t;
+  report : Report.t;
+}
+
+(** Delete routines that can no longer execute: module-local routines
+    and clones unreachable (via direct calls or taken addresses) from
+    [main] and the exported user routines.  The count feeds Table 1's
+    "Deletions" column. *)
+let delete_unreachable (st : State.t) : unit =
+  let p = st.State.program in
+  let is_root (r : U.routine) =
+    r.U.r_name = p.U.p_main
+    || (r.U.r_linkage = U.Exported
+       && match r.U.r_origin with U.From_source -> true | U.Clone_of _ -> false)
+  in
+  let refs_of (r : U.routine) =
+    List.concat_map
+      (fun (b : U.block) ->
+        List.filter_map
+          (function
+            | U.Call { c_callee = U.Direct n; _ } -> Some n
+            | U.Faddr (_, n) -> Some n
+            | _ -> None)
+          b.U.b_instrs)
+      r.U.r_blocks
+  in
+  let marked = Hashtbl.create 64 in
+  let rec mark name =
+    if not (Hashtbl.mem marked name) then begin
+      Hashtbl.replace marked name ();
+      match U.find_routine p name with
+      | Some r -> List.iter mark (refs_of r)
+      | None -> ()  (* builtin *)
+    end
+  in
+  List.iter (fun r -> if is_root r then mark r.U.r_name) p.U.p_routines;
+  let dead =
+    List.filter_map
+      (fun (r : U.routine) ->
+        if Hashtbl.mem marked r.U.r_name then None else Some r.U.r_name)
+      p.U.p_routines
+  in
+  if dead <> [] then begin
+    st.State.program <- U.remove_routines p dead;
+    st.State.report.Report.deletions <-
+      st.State.report.Report.deletions + List.length dead
+  end
+
+let reoptimize (st : State.t) (touched : string list) : unit =
+  if st.State.config.Config.optimize_between_passes && touched <> [] then
+    st.State.program <- Opt.Pipeline.optimize_selected st.State.program touched
+
+let validate_if_needed (st : State.t) ~where =
+  if st.State.config.Config.validate then
+    match Ucode.Validate.check_program st.State.program with
+    | [] -> ()
+    | errors ->
+      invalid_arg
+        (Printf.sprintf "HLO produced malformed IR (%s):\n%s" where
+           (Ucode.Validate.errors_to_string errors))
+
+(** Run HLO.  [profile] should come from {!Interp.train} on the same
+    (pre-HLO) program; pass {!Ucode.Profile.empty} for a heuristics-only
+    compile.  The input program is first cleaned by the scalar
+    optimizer (the paper's "classic optimizations performed at input
+    time, mainly to reduce IR size") and the budget is anchored on the
+    cleaned size. *)
+let run ?(config = Config.default) ?(profile = Ucode.Profile.empty)
+    (program : U.program) : result =
+  let program =
+    if config.Config.optimize_between_passes then
+      Opt.Pipeline.optimize_program program
+    else program
+  in
+  let st = State.create config ~program ~profile in
+  st.State.report.Report.cost_before <- Ucode.Size.program_cost program;
+  Budget.recalibrate st.State.budget
+    ~measured_cost:(Ucode.Size.program_cost program);
+  (* The IPA dead-call cleanup above may already strand routines. *)
+  delete_unreachable st;
+  (* Outlining first (when enabled): shrinking hot routines by their
+     cold regions both lowers the quadratic cost the budget is anchored
+     on and keeps the inliner's attention on code that runs. *)
+  if config.Config.enable_outlining then begin
+    let n = Outliner.run_pass st in
+    st.State.report.Report.outlined <- n;
+    validate_if_needed st ~where:"outlining";
+    if n > 0 then begin
+      reoptimize st
+        (List.map (fun (r : U.routine) -> r.U.r_name)
+           st.State.program.U.p_routines);
+      Budget.recalibrate st.State.budget
+        ~measured_cost:(Ucode.Size.program_cost st.State.program)
+    end
+  end;
+  let pass = ref 0 in
+  let continue_ = ref true in
+  while
+    !continue_ && !pass < config.Config.pass_limit
+    && (not (Budget.exhausted st.State.budget))
+    && State.running st
+  do
+    let ops_before = Report.total_operations st.State.report in
+    let touched_clone = Cloner.run_pass st ~pass:!pass in
+    validate_if_needed st ~where:(Printf.sprintf "clone pass %d" !pass);
+    let touched_inline = Inliner.run_pass st ~pass:!pass in
+    validate_if_needed st ~where:(Printf.sprintf "inline pass %d" !pass);
+    delete_unreachable st;
+    reoptimize st (touched_clone @ touched_inline);
+    validate_if_needed st ~where:(Printf.sprintf "optimize after pass %d" !pass);
+    delete_unreachable st;
+    Budget.recalibrate st.State.budget
+      ~measured_cost:(Ucode.Size.program_cost st.State.program);
+    st.State.report.Report.passes_run <- st.State.report.Report.passes_run + 1;
+    (* An idle pass means convergence — unless a later stage will
+       release more budget, in which case the pass was idle merely
+       because its allotment was too small. *)
+    let stage_now = Budget.stage_allowance st.State.budget ~pass:!pass in
+    if
+      Report.total_operations st.State.report = ops_before
+      && stage_now >= st.State.budget.Budget.allowance
+    then continue_ := false;
+    incr pass
+  done;
+  st.State.report.Report.cost_after <- Ucode.Size.program_cost st.State.program;
+  { program = st.State.program; profile = st.State.profile;
+    report = st.State.report }

@@ -1,0 +1,18 @@
+(** The multi-pass HLO driver (Figure 2): clean the input with the
+    scalar optimizer, optionally outline cold regions, then alternate
+    cloning and inlining under the staged budget until it is exhausted,
+    the pass limit is hit, or a fully-funded pass does nothing;
+    unreachable module-local routines and clones are deleted and
+    touched routines re-optimized between passes. *)
+
+type result = {
+  program : Ucode.Types.program;
+  profile : Ucode.Profile.t;  (** kept coherent with the transforms *)
+  report : Report.t;
+}
+
+(** [run ~config ~profile p] transforms [p].  [profile] should come
+    from {!Interp.train} on the same (pre-HLO) program; pass
+    {!Ucode.Profile.empty} for a heuristics-only compile. *)
+val run :
+  ?config:Config.t -> ?profile:Ucode.Profile.t -> Ucode.Types.program -> result

@@ -1,0 +1,277 @@
+(** The inlining pass (Figure 4 of the paper).
+
+    Every call edge is screened for legal, technical, pragmatic and
+    user-imposed restrictions; viable sites get a run-time figure of
+    merit (profile frequency when available, a loop heuristic
+    otherwise, with a penalty for sites colder than their caller's
+    entry — inlining into a non-critical path risks pushing spills onto
+    hot paths).  Sites are then accepted greedily under the pass's
+    budget allotment, with *cascaded costs*: accepted inlines are kept
+    in a schedule ordered bottom-up over the call graph, so the cost of
+    inlining B into A reflects whatever has already been scheduled into
+    B — and when the schedule is executed, B's body really does contain
+    those earlier inlines. *)
+
+module U = Ucode.Types
+module CG = Ucode.Callgraph
+
+type candidate = {
+  i_caller : string;
+  i_callee : string;
+  i_site : U.site;
+  i_block : U.label;
+  i_benefit : float;
+  i_callee_size : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Legality screening.                                                 *)
+
+type rejection =
+  | Not_a_routine        (** external/builtin callee *)
+  | Indirect_site
+  | Arity_mismatch
+  | Callee_varargs
+  | Callee_alloca
+  | Fp_model_mismatch
+  | User_no_inline
+  | Crosses_module
+
+let screen (st : State.t) (e : CG.edge) : (U.routine * U.routine, rejection) result =
+  let p = st.State.program in
+  match e.CG.e_callee with
+  | U.Indirect _ -> Error Indirect_site
+  | U.Direct name -> (
+    match U.find_routine p name with
+    | None -> Error Not_a_routine
+    | Some callee ->
+      let caller = U.find_routine_exn p e.CG.e_caller in
+      if callee.U.r_attrs.U.a_no_inline then Error User_no_inline
+      else if callee.U.r_attrs.U.a_varargs then Error Callee_varargs
+      else if callee.U.r_attrs.U.a_alloca then Error Callee_alloca
+      else if callee.U.r_attrs.U.a_fp_model <> caller.U.r_attrs.U.a_fp_model
+      then Error Fp_model_mismatch
+      else if List.length e.CG.e_args <> List.length callee.U.r_params then
+        Error Arity_mismatch
+      else if
+        (not st.State.config.Config.cross_module)
+        && caller.U.r_module <> callee.U.r_module
+      then Error Crosses_module
+      else Ok (caller, callee))
+
+(* ------------------------------------------------------------------ *)
+(* Benefit.                                                            *)
+
+let benefit_of (st : State.t) (caller : U.routine) (callee : U.routine)
+    (e : CG.edge) : float =
+  let config = st.State.config in
+  let profile = st.State.profile in
+  let freq =
+    Summaries.site_frequency ~config ~profile caller ~site:e.CG.e_site
+      ~label:e.CG.e_block
+  in
+  let cold_penalty =
+    if
+      config.Config.use_profile
+      && (not (Ucode.Profile.is_empty profile))
+      && Ucode.Profile.block_count profile ~routine:caller.U.r_name
+           ~block:e.CG.e_block
+         < Ucode.Profile.entry_count profile caller
+    then config.Config.cold_site_penalty
+    else 1.0
+  in
+  (* Small callees amortize their cost faster; bias slightly toward
+     them so ties break sensibly. *)
+  let size_bias = 1.0 +. (8.0 /. float_of_int (8 + Ucode.Size.routine_size callee)) in
+  freq *. cold_penalty *. size_bias
+
+(* ------------------------------------------------------------------ *)
+(* Performing one inline.                                              *)
+
+exception Site_vanished
+
+(** Inline the body of the callee of call-site [site] into [caller_name].
+    The caller's block containing the site is split in two; the copied
+    body is wired between the halves, parameter-binding moves feed the
+    renamed formals, and every [return] is rewritten into a move to the
+    call's destination plus a jump to the join block.  A routine that
+    falls off a [return] with no value yields 0, matching the
+    interpreter's convention. *)
+let perform_inline (st : State.t) ~(caller_name : string) ~(site : U.site) : unit =
+  let p = st.State.program in
+  let caller = U.find_routine_exn p caller_name in
+  (* Locate the call instruction. *)
+  let found =
+    List.find_map
+      (fun (b : U.block) ->
+        let rec split pre = function
+          | [] -> None
+          | U.Call c :: post when c.U.c_site = site ->
+            Some (b, List.rev pre, c, post)
+          | i :: rest -> split (i :: pre) rest
+        in
+        split [] b.U.b_instrs)
+      caller.U.r_blocks
+  in
+  let b, pre, c, post =
+    match found with Some x -> x | None -> raise Site_vanished
+  in
+  let callee_name =
+    match c.U.c_callee with
+    | U.Direct n -> n
+    | U.Indirect _ -> raise Site_vanished
+  in
+  let callee = U.find_routine_exn p callee_name in
+  let copy =
+    Ucode.Rename.copy_body callee ~reg_base:caller.U.r_next_reg
+      ~label_base:caller.U.r_next_label
+      ~fresh_site:(fun () -> State.fresh_site st)
+  in
+  let join_label = copy.Ucode.Rename.cp_next_label in
+  let binds =
+    List.map2 (fun formal arg -> U.Move (formal, arg))
+      copy.Ucode.Rename.cp_params c.U.c_args
+  in
+  let pre_block =
+    { b with U.b_instrs = pre @ binds;
+             U.b_term = U.Jump copy.Ucode.Rename.cp_entry }
+  in
+  let join_block =
+    { U.b_id = join_label; U.b_instrs = post; U.b_term = b.U.b_term }
+  in
+  let rewire_return (blk : U.block) =
+    match blk.U.b_term with
+    | U.Return v ->
+      let extra =
+        match (c.U.c_dst, v) with
+        | Some d, Some value -> [ U.Move (d, value) ]
+        | Some d, None -> [ U.Const (d, 0L) ]
+        | None, _ -> []
+      in
+      { blk with U.b_instrs = blk.U.b_instrs @ extra; U.b_term = U.Jump join_label }
+    | _ -> blk
+  in
+  let copied = List.map rewire_return copy.Ucode.Rename.cp_blocks in
+  let blocks =
+    List.map (fun (blk : U.block) -> if blk.U.b_id = b.U.b_id then pre_block else blk)
+      caller.U.r_blocks
+    @ copied @ [ join_block ]
+  in
+  let caller' =
+    { caller with U.r_blocks = blocks;
+      U.r_next_reg = copy.Ucode.Rename.cp_next_reg;
+      U.r_next_label = join_label + 1 }
+  in
+  st.State.program <- U.update_routine st.State.program caller';
+  (* Profile transfer: the copied blocks inherit the fraction of the
+     callee's counts attributable to this site; the join block runs as
+     often as the call fired. *)
+  let profile = st.State.profile in
+  if not (Ucode.Profile.is_empty profile) then begin
+    let site_count = Ucode.Profile.site_count profile site in
+    let entry = Ucode.Profile.entry_count profile callee in
+    let factor = if entry <= 0.0 then 0.0 else Float.min 1.0 (site_count /. entry) in
+    let profile =
+      Ucode.Profile.transfer_copy profile ~from_routine:callee_name
+        ~into_routine:caller_name ~block_map:copy.Ucode.Rename.cp_block_map
+        ~site_map:copy.Ucode.Rename.cp_site_map ~factor
+    in
+    let profile =
+      Ucode.Profile.add_block profile ~routine:caller_name ~block:join_label
+        site_count
+    in
+    let profile =
+      (* The callee now runs correspondingly less often — unless we
+         just unrolled it into itself. *)
+      if callee_name = caller_name || factor <= 0.0 then profile
+      else Ucode.Profile.scale_routine profile callee (1.0 -. factor)
+    in
+    st.State.profile <- profile
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pass driver.                                                        *)
+
+(** Run one inlining pass under the stage-[pass] budget allotment.
+    Returns the names of modified routines. *)
+let run_pass (st : State.t) ~(pass : int) : string list =
+  if (not st.State.config.Config.enable_inlining) || not (State.running st)
+  then []
+  else begin
+    let p = st.State.program in
+    let cg = CG.build p in
+    (* Screen and rank. *)
+    let candidates =
+      List.filter_map
+        (fun (e : CG.edge) ->
+          match screen st e with
+          | Error _ -> None
+          | Ok (caller, callee) ->
+            Some
+              { i_caller = caller.U.r_name; i_callee = callee.U.r_name;
+                i_site = e.CG.e_site; i_block = e.CG.e_block;
+                i_benefit = benefit_of st caller callee e;
+                i_callee_size = Ucode.Size.routine_size callee })
+        cg.CG.cg_edges
+    in
+    let ranked =
+      List.stable_sort
+        (fun a b ->
+          match compare b.i_benefit a.i_benefit with
+          | 0 -> compare a.i_callee_size b.i_callee_size
+          | n -> n)
+        candidates
+    in
+    (* Greedy acceptance with cascaded size estimates. *)
+    let est_size = Hashtbl.create 64 in
+    List.iter
+      (fun (r : U.routine) ->
+        Hashtbl.replace est_size r.U.r_name (Ucode.Size.routine_size r))
+      p.U.p_routines;
+    let accepted =
+      List.filter
+        (fun cand ->
+          let sz_caller = Hashtbl.find est_size cand.i_caller in
+          let sz_callee = Hashtbl.find est_size cand.i_callee in
+          let delta =
+            Ucode.Size.cost_of_size (sz_caller + sz_callee)
+            -. Ucode.Size.cost_of_size sz_caller
+          in
+          if Budget.can_afford st.State.budget ~pass delta then begin
+            Budget.charge st.State.budget delta;
+            Hashtbl.replace est_size cand.i_caller (sz_caller + sz_callee);
+            true
+          end
+          else false)
+        ranked
+    in
+    (* Execute the schedule bottom-up: all inlines *into* a routine
+       happen before that routine is inlined anywhere else, so callers
+       receive the cascaded bodies the cost model assumed. *)
+    let order = CG.bottom_up_order cg in
+    let position =
+      List.mapi (fun i name -> (name, i)) order |> List.to_seq |> Hashtbl.of_seq
+    in
+    let pos name = Option.value ~default:max_int (Hashtbl.find_opt position name) in
+    let schedule =
+      List.stable_sort (fun a b -> compare (pos a.i_caller) (pos b.i_caller))
+        accepted
+    in
+    let touched = ref U.String_set.empty in
+    List.iter
+      (fun cand ->
+        if State.running st then begin
+          match
+            perform_inline st ~caller_name:cand.i_caller ~site:cand.i_site
+          with
+          | () ->
+            State.note_operation st
+              (Report.Op_inline
+                 { caller = cand.i_caller; callee = cand.i_callee;
+                   site = cand.i_site });
+            touched := U.String_set.add cand.i_caller !touched
+          | exception Site_vanished -> ()
+        end)
+      schedule;
+    U.String_set.elements !touched
+  end

@@ -1,0 +1,10 @@
+(** The inlining pass (Figure 4): screen every edge for legality
+    (indirect, arity, varargs, alloca, FP model, user directives,
+    scope), rank viable sites by profile frequency (cold-site penalty,
+    small-callee bias), accept greedily under the stage budget with
+    cascaded size estimates, and execute the schedule bottom-up so
+    callers receive already-inlined callee bodies. *)
+
+(** Run one pass under the stage-[pass] allotment; returns the names of
+    modified routines. *)
+val run_pass : State.t -> pass:int -> string list

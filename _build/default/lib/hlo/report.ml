@@ -1,0 +1,42 @@
+(** Transformation statistics, reported per run.
+
+    The fields mirror the columns of the paper's Table 1: inlines
+    performed, clones created, clone replacements (call sites
+    retargeted to a clone), and routine deletions, plus the
+    compile-cost bookkeeping behind the "Compile Time" column. *)
+
+type operation =
+  | Op_inline of { caller : string; callee : string; site : Ucode.Types.site }
+  | Op_clone_replace of { caller : string; clone : string; site : Ucode.Types.site }
+
+type t = {
+  mutable inlines : int;
+  mutable clones_created : int;
+  mutable clone_replacements : int;
+  mutable deletions : int;
+  mutable outlined : int;  (** cold regions extracted (§5 extension) *)
+  mutable passes_run : int;
+  mutable cost_before : float;
+  mutable cost_after : float;
+  mutable operations : operation list;  (** newest first *)
+}
+
+let create () =
+  { inlines = 0; clones_created = 0; clone_replacements = 0; deletions = 0;
+    outlined = 0; passes_run = 0; cost_before = 0.0; cost_after = 0.0;
+    operations = [] }
+
+let operations_in_order t = List.rev t.operations
+
+let total_operations t = t.inlines + t.clone_replacements
+
+let pp ppf t =
+  Fmt.pf ppf
+    "inlines=%d clones=%d clone-repls=%d deletions=%d%s passes=%d cost %.0f -> %.0f (%+.0f%%)"
+    t.inlines t.clones_created t.clone_replacements t.deletions
+    (if t.outlined > 0 then Printf.sprintf " outlined=%d" t.outlined else "")
+    t.passes_run
+    t.cost_before t.cost_after
+    (if t.cost_before > 0.0 then
+       (t.cost_after -. t.cost_before) /. t.cost_before *. 100.0
+     else 0.0)

@@ -1,0 +1,38 @@
+(** Transformation statistics: the columns of the paper's Table 1
+    (inlines, clones, clone replacements, deletions) plus compile-cost
+    bookkeeping, the outlining extension's counter, and the ordered
+    operation log behind Figure 8. *)
+
+type operation =
+  | Op_inline of {
+      caller : string;
+      callee : string;
+      site : Ucode.Types.site;
+    }
+  | Op_clone_replace of {
+      caller : string;
+      clone : string;
+      site : Ucode.Types.site;
+    }
+
+type t = {
+  mutable inlines : int;
+  mutable clones_created : int;
+  mutable clone_replacements : int;
+  mutable deletions : int;
+  mutable outlined : int;
+  mutable passes_run : int;
+  mutable cost_before : float;
+  mutable cost_after : float;
+  mutable operations : operation list;  (** newest first *)
+}
+
+val create : unit -> t
+
+(** Operations oldest-first (the Figure 8 x-axis). *)
+val operations_in_order : t -> operation list
+
+(** Inlines + clone replacements — what Figure 8 counts. *)
+val total_operations : t -> int
+
+val pp : Format.formatter -> t -> unit

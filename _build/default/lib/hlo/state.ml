@@ -1,0 +1,61 @@
+(** Mutable state threaded through an HLO run: the evolving program,
+    its profile database (kept coherent across transformations), the
+    budget, the report, and the clone database that lets later passes
+    reuse clones made by earlier ones. *)
+
+module U = Ucode.Types
+
+(** What the clone database remembers about a materialized clone: its
+    name and the site renaming of its copied body (needed to transfer
+    additional profile weight onto it when the clone is reused). *)
+type clone_entry = {
+  ce_name : string;
+  ce_site_map : (U.site * U.site) list;
+}
+
+type t = {
+  config : Config.t;
+  mutable program : U.program;
+  mutable profile : Ucode.Profile.t;
+  budget : Budget.t;
+  report : Report.t;
+  clone_db : (string, clone_entry) Hashtbl.t;  (** spec key -> entry *)
+  mutable next_clone_id : int;
+  mutable stop : bool;  (** set when [max_operations] is reached *)
+}
+
+let create (config : Config.t) ~(program : U.program)
+    ~(profile : Ucode.Profile.t) : t =
+  let report = Report.create () in
+  report.Report.cost_before <- Ucode.Size.program_cost program;
+  { config; program; profile;
+    budget = Budget.create config ~initial_cost:(Ucode.Size.program_cost program);
+    report; clone_db = Hashtbl.create 32; next_clone_id = 0;
+    stop = (match config.Config.max_operations with
+           | Some cap -> cap <= 0
+           | None -> false) }
+
+let fresh_site (st : t) : U.site =
+  let s = st.program.U.p_next_site in
+  st.program <- { st.program with U.p_next_site = s + 1 };
+  s
+
+let fresh_clone_name (st : t) base =
+  let id = st.next_clone_id in
+  st.next_clone_id <- id + 1;
+  Printf.sprintf "%s__clone%d" base id
+
+(** Record one operation (an inline or a clone replacement) and trip
+    the stop flag once the configured operation cap is hit. *)
+let note_operation (st : t) (op : Report.operation) : unit =
+  st.report.Report.operations <- op :: st.report.Report.operations;
+  (match op with
+  | Report.Op_inline _ -> st.report.Report.inlines <- st.report.Report.inlines + 1
+  | Report.Op_clone_replace _ ->
+    st.report.Report.clone_replacements <- st.report.Report.clone_replacements + 1);
+  match st.config.Config.max_operations with
+  | Some cap when Report.total_operations st.report >= cap -> st.stop <- true
+  | _ -> ()
+
+(** May HLO transform anything more right now? *)
+let running (st : t) = not st.stop

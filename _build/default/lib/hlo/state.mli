@@ -1,0 +1,34 @@
+(** Mutable state threaded through one HLO run: the evolving program,
+    its (coherently updated) profile, the budget, the report, and the
+    clone database that lets later passes reuse earlier clones. *)
+
+type clone_entry = {
+  ce_name : string;
+  ce_site_map : (Ucode.Types.site * Ucode.Types.site) list;
+      (** original site -> clone-body site, for profile transfer *)
+}
+
+type t = {
+  config : Config.t;
+  mutable program : Ucode.Types.program;
+  mutable profile : Ucode.Profile.t;
+  budget : Budget.t;
+  report : Report.t;
+  clone_db : (string, clone_entry) Hashtbl.t;  (** spec key -> entry *)
+  mutable next_clone_id : int;
+  mutable stop : bool;  (** the operation cap has been reached *)
+}
+
+val create :
+  Config.t -> program:Ucode.Types.program -> profile:Ucode.Profile.t -> t
+
+(** Allocate a program-unique call-site id (bumps [p_next_site]). *)
+val fresh_site : t -> Ucode.Types.site
+
+val fresh_clone_name : t -> string -> string
+
+(** Record an operation; trips [stop] at the configured cap. *)
+val note_operation : t -> Report.operation -> unit
+
+(** May HLO still transform? *)
+val running : t -> bool

@@ -1,0 +1,1 @@
+lib/machine/layout.ml: Array Fmt Hashtbl Int64 List Lower Ucode Vinsn

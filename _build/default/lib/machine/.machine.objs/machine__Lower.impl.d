@@ -1,0 +1,1 @@
+lib/machine/lower.ml: Array Hashtbl List Option Regalloc Ucode Vinsn

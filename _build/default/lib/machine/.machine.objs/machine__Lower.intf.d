@@ -1,0 +1,1 @@
+lib/machine/lower.mli: Ucode Vinsn

@@ -1,0 +1,1 @@
+lib/machine/positioning.ml: Hashtbl List Option Ucode

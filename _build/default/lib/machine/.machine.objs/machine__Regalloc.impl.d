@@ -1,0 +1,1 @@
+lib/machine/regalloc.ml: Hashtbl List Opt Option Printf Ucode

@@ -1,0 +1,1 @@
+lib/machine/regalloc.mli: Ucode

@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Array Branch_predictor Buffer Cache Char Int64 Layout List Metrics Printf Regalloc Ucode Vinsn

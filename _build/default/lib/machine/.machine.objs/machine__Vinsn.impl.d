@@ -1,0 +1,1 @@
+lib/machine/vinsn.ml: Fmt Ucode

@@ -1,0 +1,76 @@
+(** A parametric set-associative cache model with true-LRU replacement.
+
+    Addresses are in words (one IR cell / one instruction per word).
+    Used for both the instruction and the data cache of the simulated
+    machine; the paper's Figure 7 reports access counts and miss rates
+    from exactly such a pair of models. *)
+
+type config = {
+  sets : int;        (** number of sets (power of two) *)
+  assoc : int;       (** ways per set *)
+  line_words : int;  (** words per line (power of two) *)
+}
+
+(** Small defaults tuned so the mini-workloads exercise the caches the
+    way SPEC binaries exercised the PA8000's: the instruction working
+    sets of the benchmarks are a few thousand words, so a ~4K-word
+    I-cache sees the post-inlining growth, and a ~8K-word D-cache sees
+    the save/restore traffic. *)
+let default_icache = { sets = 256; assoc = 2; line_words = 8 }
+let default_dcache = { sets = 512; assoc = 2; line_words = 8 }
+
+type t = {
+  cfg : config;
+  tags : int array array;      (** [set][way] = tag, -1 empty *)
+  last_use : int array array;  (** [set][way] = LRU stamp *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create cfg =
+  if cfg.sets <= 0 || cfg.assoc <= 0 || cfg.line_words <= 0 then
+    invalid_arg "Cache.create: nonpositive geometry";
+  { cfg;
+    tags = Array.init cfg.sets (fun _ -> Array.make cfg.assoc (-1));
+    last_use = Array.init cfg.sets (fun _ -> Array.make cfg.assoc 0);
+    clock = 0; accesses = 0; misses = 0 }
+
+let size_words t = t.cfg.sets * t.cfg.assoc * t.cfg.line_words
+
+(** Access one word address; returns [true] on hit. *)
+let access t (addr : int) : bool =
+  t.clock <- t.clock + 1;
+  t.accesses <- t.accesses + 1;
+  let line = addr / t.cfg.line_words in
+  let set = line mod t.cfg.sets in
+  let tag = line / t.cfg.sets in
+  let tags = t.tags.(set) in
+  let stamps = t.last_use.(set) in
+  let rec find w = if w >= t.cfg.assoc then None
+                   else if tags.(w) = tag then Some w
+                   else find (w + 1) in
+  match find 0 with
+  | Some w ->
+    stamps.(w) <- t.clock;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict the LRU way (empty ways have stamp 0 and lose). *)
+    let victim = ref 0 in
+    for w = 1 to t.cfg.assoc - 1 do
+      if stamps.(w) < stamps.(!victim) then victim := w
+    done;
+    tags.(!victim) <- tag;
+    stamps.(!victim) <- t.clock;
+    false
+
+let reset t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1)) t.tags;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.last_use;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses

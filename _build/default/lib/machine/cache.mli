@@ -1,0 +1,34 @@
+(** A parametric set-associative cache with true-LRU replacement, used
+    for both the I-cache and the D-cache of the simulated machine.
+    Addresses are in words. *)
+
+type config = {
+  sets : int;
+  assoc : int;
+  line_words : int;
+}
+
+(** Defaults sized so the mini-workloads stress the caches the way SPEC
+    binaries stressed the PA8000's. *)
+val default_icache : config
+
+val default_dcache : config
+
+type t = private {
+  cfg : config;
+  tags : int array array;
+  last_use : int array array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+val create : config -> t
+val size_words : t -> int
+
+(** Access one word address; true on hit.  Updates LRU state and the
+    access/miss counters. *)
+val access : t -> int -> bool
+
+val reset : t -> unit
+val miss_rate : t -> float

@@ -1,0 +1,28 @@
+(** Code and data layout: whole program to executable image.
+
+    Instruction address 0 holds the halt stub; routines follow in
+    program order (see {!Positioning} for profile-guided order).  A
+    routine's handle *is* its entry address.  Data layout mirrors the
+    interpreter's exactly, so programs produce bit-identical output on
+    both engines. *)
+
+type image = {
+  code : Vinsn.t array;
+  entries : (string * int) list;  (** routine -> entry address *)
+  routine_extent : (string * (int * int)) list;
+      (** routine -> (first, one-past-last) address *)
+  global_bases : (string * int) list;
+  data_break : int;   (** first data cell not used by globals *)
+  global_init : (int * int64) list;  (** cell -> initial value *)
+  main_entry : int;
+}
+
+val halt_address : int
+
+(** Lower every routine, place code and data, patch every target. *)
+val build : Ucode.Types.program -> image
+
+val code_size : image -> int
+
+(** Disassembly listing. *)
+val pp : Format.formatter -> image -> unit

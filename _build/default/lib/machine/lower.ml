@@ -1,0 +1,233 @@
+(** Instruction selection: one ucode routine to VR32 code.
+
+    Calling convention (see also {!Vinsn} and {!Regalloc}):
+
+    Caller, to invoke [f(a0..a_{n-1})]:
+    {v
+      st  a_i, -(1+i)(sp)     ; outgoing actuals just below sp
+      addi sp, sp, -n
+      call f                  ; pushes the return address: mem[--sp] <- pc+1
+      addi sp, sp, +n
+      mov  dst, r1            ; result, if used
+    v}
+
+    Callee frame (offsets from the callee's sp after the prologue):
+    {v
+      [0 .. nspills-1]            spill slots
+      [nspills .. nspills+k-1]    saved callee-saved registers
+      [frame]                     return address (pushed by call)
+      [frame+1 .. frame+n]        incoming actuals; param i at frame+n-i
+    v}
+
+    Every [return] runs the epilogue: result to r1, restore saved
+    registers, pop the frame, [ret] (pops the return address).
+
+    A routine that falls off without a value returns 0 in r1 — the
+    same convention the interpreter implements, which is what makes
+    the two engines differentially testable. *)
+
+module U = Ucode.Types
+module V = Vinsn
+module R = Regalloc
+
+type lowered = {
+  lw_name : string;
+  lw_code : V.t array;  (** branch targets are [Tlocal]/[Troutine]/[Tglobal] *)
+}
+
+type ctx = {
+  alloc : R.t;
+  routine : U.routine;
+  arity_of : string -> int option;
+      (** callee arity lookup, for padding/truncating mismatched
+          direct calls to the interpreter's pad-with-zero semantics *)
+  is_routine : string -> bool;
+      (** defined routines get [call]; everything else is a builtin
+          syscall (user definitions shadow builtins, as in the
+          interpreter) *)
+  buf : V.t list ref;         (** reversed *)
+  block_offsets : (U.label, int) Hashtbl.t;
+  mutable emitted : int;
+}
+
+let emit ctx i =
+  ctx.buf := i :: !(ctx.buf);
+  ctx.emitted <- ctx.emitted + 1
+
+(** Physical register currently holding virtual [v], loading a spilled
+    value into [scratch] if needed. *)
+let read ctx ~scratch v =
+  match R.location ctx.alloc v with
+  | R.Preg p -> p
+  | R.Spill slot ->
+    emit ctx (V.Mload (scratch, R.sp, slot));
+    scratch
+
+(** Physical register an instruction should write for virtual [v];
+    call [commit] afterwards to flush a spilled def. *)
+let def_target ctx v =
+  match R.location ctx.alloc v with
+  | R.Preg p -> (p, fun () -> ())
+  | R.Spill slot ->
+    (R.scratch1, fun () -> emit ctx (V.Mstore (R.sp, slot, R.scratch1)))
+
+let move_into ctx v ~from_phys =
+  match R.location ctx.alloc v with
+  | R.Preg p -> if p <> from_phys then emit ctx (V.Mmov (p, from_phys))
+  | R.Spill slot -> emit ctx (V.Mstore (R.sp, slot, from_phys))
+
+(* ------------------------------------------------------------------ *)
+
+(** Stage exactly [expected] outgoing arguments below sp: surplus
+    actuals are dropped, missing ones are written as zero — matching
+    the interpreter's convention for arity-mismatched direct calls. *)
+let stage_arguments ctx args ~expected =
+  List.iteri
+    (fun i a ->
+      if i < expected then begin
+        let p = read ctx ~scratch:R.scratch1 a in
+        emit ctx (V.Mstore (R.sp, -(1 + i), p))
+      end)
+    args;
+  let supplied = List.length args in
+  if expected > supplied then begin
+    emit ctx (V.Mli (R.scratch2, 0L));
+    for i = supplied to expected - 1 do
+      emit ctx (V.Mstore (R.sp, -(1 + i), R.scratch2))
+    done
+  end
+
+let lower_call ctx (c : U.call) =
+  let supplied = List.length c.U.c_args in
+  (match c.U.c_callee with
+  | U.Direct name ->
+    let n = Option.value ~default:supplied (ctx.arity_of name) in
+    stage_arguments ctx c.U.c_args ~expected:n;
+    if n > 0 then emit ctx (V.Maddi (R.sp, R.sp, -n));
+    if ctx.is_routine name then emit ctx (V.Mcall (V.Troutine name))
+    else emit ctx (V.Msys (name, n));
+    if n > 0 then emit ctx (V.Maddi (R.sp, R.sp, n))
+  | U.Indirect h ->
+    (* Indirect calls must match the target's arity exactly (checked by
+       the interpreter's semantics); stage what was supplied.  Load the
+       target before sp moves: a spilled handle is sp-relative. *)
+    stage_arguments ctx c.U.c_args ~expected:supplied;
+    let p = read ctx ~scratch:R.scratch1 h in
+    if supplied > 0 then emit ctx (V.Maddi (R.sp, R.sp, -supplied));
+    emit ctx (V.Mcalli p);
+    if supplied > 0 then emit ctx (V.Maddi (R.sp, R.sp, supplied)));
+  match c.U.c_dst with
+  | Some d -> move_into ctx d ~from_phys:R.result_reg
+  | None -> ()
+
+let lower_instr ctx (i : U.instr) =
+  match i with
+  | U.Const (d, k) ->
+    let p, commit = def_target ctx d in
+    emit ctx (V.Mli (p, k));
+    commit ()
+  | U.Faddr (d, name) ->
+    let p, commit = def_target ctx d in
+    emit ctx (V.Mla (p, V.Troutine name));
+    commit ()
+  | U.Gaddr (d, name) ->
+    let p, commit = def_target ctx d in
+    emit ctx (V.Mla (p, V.Tglobal name));
+    commit ()
+  | U.Unop (d, op, a) ->
+    let pa = read ctx ~scratch:R.scratch1 a in
+    let p, commit = def_target ctx d in
+    emit ctx (match op with U.Neg -> V.Mneg (p, pa) | U.Not -> V.Mnot (p, pa));
+    commit ()
+  | U.Binop (d, op, a, b) ->
+    let pa = read ctx ~scratch:R.scratch1 a in
+    let pb = read ctx ~scratch:R.scratch2 b in
+    let p, commit = def_target ctx d in
+    emit ctx (V.Malu (op, p, pa, pb));
+    commit ()
+  | U.Move (d, a) ->
+    let pa = read ctx ~scratch:R.scratch1 a in
+    move_into ctx d ~from_phys:pa
+  | U.Load (d, a) ->
+    let pa = read ctx ~scratch:R.scratch1 a in
+    let p, commit = def_target ctx d in
+    emit ctx (V.Mload (p, pa, 0));
+    commit ()
+  | U.Store (a, v) ->
+    let pa = read ctx ~scratch:R.scratch1 a in
+    let pv = read ctx ~scratch:R.scratch2 v in
+    emit ctx (V.Mstore (pa, 0, pv))
+  | U.Call c -> lower_call ctx c
+
+let lower_epilogue ctx value =
+  (match value with
+  | Some v ->
+    let p = read ctx ~scratch:R.scratch1 v in
+    if p <> R.result_reg then emit ctx (V.Mmov (R.result_reg, p))
+  | None -> emit ctx (V.Mli (R.result_reg, 0L)));
+  List.iteri
+    (fun j s -> emit ctx (V.Mload (s, R.sp, ctx.alloc.R.nspills + j)))
+    ctx.alloc.R.used_callee_saved;
+  let frame = R.frame_size ctx.alloc in
+  if frame > 0 then emit ctx (V.Maddi (R.sp, R.sp, frame));
+  emit ctx V.Mret
+
+let lower_term ctx (t : U.terminator) =
+  match t with
+  | U.Jump l -> emit ctx (V.Mjmp (V.Tblock l))
+  | U.Branch (c, l1, l2) ->
+    let p = read ctx ~scratch:R.scratch1 c in
+    emit ctx (V.Mbnez (p, V.Tblock l1));
+    emit ctx (V.Mjmp (V.Tblock l2))
+  | U.Return v -> lower_epilogue ctx v
+
+let lower_prologue ctx =
+  let alloc = ctx.alloc in
+  let frame = R.frame_size alloc in
+  if frame > 0 then emit ctx (V.Maddi (R.sp, R.sp, -frame));
+  List.iteri
+    (fun j s -> emit ctx (V.Mstore (R.sp, alloc.R.nspills + j, s)))
+    alloc.R.used_callee_saved;
+  let n = List.length ctx.routine.U.r_params in
+  List.iteri
+    (fun i param ->
+      let off = frame + n - i in
+      match R.location alloc param with
+      | R.Preg p -> emit ctx (V.Mload (p, R.sp, off))
+      | R.Spill slot ->
+        emit ctx (V.Mload (R.scratch1, R.sp, off));
+        emit ctx (V.Mstore (R.sp, slot, R.scratch1)))
+    ctx.routine.U.r_params
+
+(** Lower one routine.  Block order follows the routine's block list
+    (entry first); [Tblock] targets are resolved to [Tlocal] offsets. *)
+let lower_routine ~(arity_of : string -> int option)
+    ~(is_routine : string -> bool) (r : U.routine) : lowered =
+  let alloc = R.allocate r in
+  let ctx =
+    { alloc; routine = r; arity_of; is_routine; buf = ref [];
+      block_offsets = Hashtbl.create 16; emitted = 0 }
+  in
+  lower_prologue ctx;
+  List.iter
+    (fun (b : U.block) ->
+      Hashtbl.replace ctx.block_offsets b.U.b_id ctx.emitted;
+      List.iter (lower_instr ctx) b.U.b_instrs;
+      lower_term ctx b.U.b_term)
+    r.U.r_blocks;
+  let resolve = function
+    | V.Tblock l -> V.Tlocal (Hashtbl.find ctx.block_offsets l)
+    | t -> t
+  in
+  let resolve_insn = function
+    | V.Mjmp t -> V.Mjmp (resolve t)
+    | V.Mbeqz (p, t) -> V.Mbeqz (p, resolve t)
+    | V.Mbnez (p, t) -> V.Mbnez (p, resolve t)
+    | V.Mcall t -> V.Mcall (resolve t)
+    | V.Mla (p, t) -> V.Mla (p, resolve t)
+    | i -> i
+  in
+  let code =
+    List.rev_map resolve_insn !(ctx.buf) |> Array.of_list
+  in
+  { lw_name = r.U.r_name; lw_code = code }

@@ -1,0 +1,21 @@
+(** Instruction selection: one ucode routine to VR32 code, under the
+    stack-argument calling convention documented in the implementation
+    (arguments stored below sp; [call] pushes the return address; the
+    callee's frame holds spill slots and the callee-saved save area).
+
+    [arity_of] pads/truncates mismatched direct calls to the
+    interpreter's pad-with-zero semantics; [is_routine] decides
+    call-vs-syscall (user definitions shadow builtins). *)
+
+type lowered = {
+  lw_name : string;
+  lw_code : Vinsn.t array;
+      (** targets are [Tlocal]/[Troutine]/[Tglobal], resolved by
+          {!Layout} *)
+}
+
+val lower_routine :
+  arity_of:(string -> int option) ->
+  is_routine:(string -> bool) ->
+  Ucode.Types.routine ->
+  lowered

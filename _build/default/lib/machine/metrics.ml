@@ -1,0 +1,45 @@
+(** Execution metrics collected by the simulator — the quantities the
+    paper plots in Figure 7. *)
+
+type t = {
+  instructions : int;   (** retired VR32 instructions *)
+  cycles : int;
+  icache_accesses : int;
+  icache_misses : int;
+  dcache_accesses : int;
+  dcache_misses : int;
+  branches : int;       (** conditional + jumps + calls + returns *)
+  branch_mispredicts : int;
+}
+
+let cpi t =
+  if t.instructions = 0 then 0.0
+  else float_of_int t.cycles /. float_of_int t.instructions
+
+let icache_miss_rate t =
+  if t.icache_accesses = 0 then 0.0
+  else float_of_int t.icache_misses /. float_of_int t.icache_accesses
+
+let dcache_miss_rate t =
+  if t.dcache_accesses = 0 then 0.0
+  else float_of_int t.dcache_misses /. float_of_int t.dcache_accesses
+
+let branch_miss_rate t =
+  if t.branches = 0 then 0.0
+  else float_of_int t.branch_mispredicts /. float_of_int t.branches
+
+(** Ratio of a metric against a baseline run, as in Figure 7's
+    "relative" panels (1.0 = unchanged). *)
+let relative ~(baseline : t) (f : t -> int) (t : t) =
+  let b = f baseline in
+  if b = 0 then 1.0 else float_of_int (f t) /. float_of_int b
+
+let pp ppf t =
+  Fmt.pf ppf
+    "instrs=%d cycles=%d CPI=%.3f I$=%d/%d (%.2f%%) D$=%d/%d (%.2f%%) br=%d/%d (%.2f%%)"
+    t.instructions t.cycles (cpi t) t.icache_misses t.icache_accesses
+    (100.0 *. icache_miss_rate t)
+    t.dcache_misses t.dcache_accesses
+    (100.0 *. dcache_miss_rate t)
+    t.branch_mispredicts t.branches
+    (100.0 *. branch_miss_rate t)

@@ -1,0 +1,24 @@
+(** Execution metrics collected by the simulator — the quantities the
+    paper plots in Figure 7. *)
+
+type t = {
+  instructions : int;
+  cycles : int;
+  icache_accesses : int;
+  icache_misses : int;
+  dcache_accesses : int;
+  dcache_misses : int;
+  branches : int;  (** conditional + jumps + calls + returns *)
+  branch_mispredicts : int;
+}
+
+val cpi : t -> float
+val icache_miss_rate : t -> float
+val dcache_miss_rate : t -> float
+val branch_miss_rate : t -> float
+
+(** Ratio of a counter against a baseline run (Figure 7's "relative"
+    panels; 1.0 = unchanged). *)
+val relative : baseline:t -> (t -> int) -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** Profile-guided code positioning after Pettis & Hansen (PLDI'90) —
+    the paper's reference [12]: heaviest-edge chain merging over the
+    dynamic call graph places hot caller/callee pairs adjacently in the
+    instruction image. *)
+
+(** Dynamic weight of every undirected caller/callee pair, heaviest
+    first (indirect sites contribute via their target histograms). *)
+val edge_weights :
+  Ucode.Types.program ->
+  Ucode.Profile.t ->
+  ((string * string) * float) list
+
+(** Routine layout order: the entry routine's chain first, then chains
+    by descending weight. *)
+val order : Ucode.Types.program -> Ucode.Profile.t -> string list
+
+(** Reorder the program's routines for layout.  No semantic change —
+    only image placement. *)
+val apply : Ucode.Types.program -> Ucode.Profile.t -> Ucode.Types.program

@@ -1,0 +1,236 @@
+(** The machine simulator — our stand-in for the PA8000 simulator the
+    paper used to produce Figure 7.
+
+    Executes a laid-out {!Layout.image} while driving an I-cache (one
+    access per instruction fetch), a D-cache (one access per load or
+    store) and a branch predictor (returns and indirect calls always
+    mispredict, per the paper's description of the PA8000).  The cycle
+    model charges one cycle per retired instruction plus fixed miss and
+    mispredict penalties — crude next to real out-of-order hardware,
+    but it moves for the same reasons the PA8000's numbers moved, which
+    is what the relative comparisons in Figure 7 need. *)
+
+module U = Ucode.Types
+module V = Vinsn
+
+type penalties = {
+  icache_miss : int;
+  dcache_miss : int;
+  branch_mispredict : int;
+  mul_extra : int;  (** extra cycles for a multiply (beyond the base 1) *)
+  div_extra : int;  (** extra cycles for a divide/remainder *)
+}
+
+let default_penalties =
+  { icache_miss = 20; dcache_miss = 20; branch_mispredict = 5; mul_extra = 2;
+    div_extra = 15 }
+
+type config = {
+  memory_cells : int;
+  max_instructions : int;
+  icache : Cache.config;
+  dcache : Cache.config;
+  predictor_entries : int;
+  penalties : penalties;
+}
+
+let default_config =
+  { memory_cells = 1 lsl 20; max_instructions = 400_000_000;
+    icache = Cache.default_icache; dcache = Cache.default_dcache;
+    predictor_entries = 256; penalties = default_penalties }
+
+type trap =
+  | Division_by_zero
+  | Memory_fault of int64
+  | Stack_overflow
+  | Bad_jump of int
+  | Aborted
+  | Out_of_instructions
+  | Out_of_memory
+
+exception Trap of trap * int  (* pc *)
+
+let trap_message = function
+  | Division_by_zero -> "division by zero"
+  | Memory_fault a -> Printf.sprintf "memory fault at %Ld" a
+  | Stack_overflow -> "stack overflow"
+  | Bad_jump a -> Printf.sprintf "jump outside code (%d)" a
+  | Aborted -> "abort() called"
+  | Out_of_instructions -> "instruction limit exceeded"
+  | Out_of_memory -> "allocator exhausted memory"
+
+type result = {
+  exit_code : int64;
+  output : string;
+  metrics : Metrics.t;
+}
+
+let run ?(config = default_config) (image : Layout.image) : result =
+  let code = image.Layout.code in
+  let mem = Array.make config.memory_cells 0L in
+  List.iter (fun (cell, v) -> mem.(cell) <- v) image.Layout.global_init;
+  let regs = Array.make 32 0L in
+  let icache = Cache.create config.icache in
+  let dcache = Cache.create config.dcache in
+  let predictor = Branch_predictor.create ~entries:config.predictor_entries () in
+  let output = Buffer.create 256 in
+  let brk = ref image.Layout.data_break in
+  let instructions = ref 0 in
+  let cycles = ref 0 in
+  let pc = ref image.Layout.main_entry in
+  let sp_init = config.memory_cells - 1 in
+  regs.(Regalloc.sp) <- Int64.of_int sp_init;
+  mem.(sp_init) <- Int64.of_int Layout.halt_address;  (* return into halt *)
+  let data_access addr_int64 pc_now =
+    let a = Int64.to_int addr_int64 in
+    if Int64.compare addr_int64 1L < 0 || a >= config.memory_cells then
+      raise (Trap (Memory_fault addr_int64, pc_now));
+    if not (Cache.access dcache a) then
+      cycles := !cycles + config.penalties.dcache_miss;
+    a
+  in
+  let check_sp () =
+    if Int64.to_int regs.(Regalloc.sp) <= !brk then
+      raise (Trap (Stack_overflow, !pc))
+  in
+  let syscall name n pc_now =
+    let arg i =
+      let sp = Int64.to_int regs.(Regalloc.sp) in
+      mem.(sp + n - 1 - i)
+    in
+    match name with
+    | "print_int" ->
+      Buffer.add_string output (Int64.to_string (arg 0));
+      Buffer.add_char output '\n';
+      0L
+    | "print_char" ->
+      Buffer.add_char output
+        (Char.chr (Int64.to_int (Int64.logand (arg 0) 255L)));
+      0L
+    | "alloc" ->
+      let k = Int64.to_int (arg 0) in
+      if k < 0 || !brk + k >= Int64.to_int regs.(Regalloc.sp) then
+        raise (Trap (Out_of_memory, pc_now));
+      let a = !brk in
+      brk := !brk + k;
+      Int64.of_int a
+    | "abort" -> raise (Trap (Aborted, pc_now))
+    | _ -> raise (Trap (Aborted, pc_now))
+  in
+  let target_addr = function
+    | V.Taddr a -> a
+    | _ -> invalid_arg "Sim.run: unresolved branch target (layout bug)"
+  in
+  let alu op a b pc_now =
+    let open Int64 in
+    let of_bool v = if v then 1L else 0L in
+    match op with
+    | U.Add -> add a b
+    | U.Sub -> sub a b
+    | U.Mul -> mul a b
+    | U.Div ->
+      if equal b 0L then raise (Trap (Division_by_zero, pc_now));
+      div a b
+    | U.Rem ->
+      if equal b 0L then raise (Trap (Division_by_zero, pc_now));
+      rem a b
+    | U.And -> logand a b
+    | U.Or -> logor a b
+    | U.Xor -> logxor a b
+    | U.Shl -> shift_left a (to_int (logand b 63L))
+    | U.Shr -> shift_right a (to_int (logand b 63L))
+    | U.Eq -> of_bool (equal a b)
+    | U.Ne -> of_bool (not (equal a b))
+    | U.Lt -> of_bool (compare a b < 0)
+    | U.Le -> of_bool (compare a b <= 0)
+    | U.Gt -> of_bool (compare a b > 0)
+    | U.Ge -> of_bool (compare a b >= 0)
+  in
+  let running = ref true in
+  while !running do
+    if !pc < 0 || !pc >= Array.length code then raise (Trap (Bad_jump !pc, !pc));
+    incr instructions;
+    if !instructions > config.max_instructions then
+      raise (Trap (Out_of_instructions, !pc));
+    incr cycles;
+    if not (Cache.access icache !pc) then
+      cycles := !cycles + config.penalties.icache_miss;
+    let here = !pc in
+    let next = ref (here + 1) in
+    (match code.(here) with
+    | V.Mhalt -> running := false
+    | V.Mli (d, k) -> regs.(d) <- k
+    | V.Mla _ -> invalid_arg "Sim.run: unresolved Mla (layout bug)"
+    | V.Mmov (d, a) -> regs.(d) <- regs.(a)
+    | V.Malu (op, d, a, b) ->
+      (match op with
+      | U.Mul -> cycles := !cycles + config.penalties.mul_extra
+      | U.Div | U.Rem -> cycles := !cycles + config.penalties.div_extra
+      | _ -> ());
+      regs.(d) <- alu op regs.(a) regs.(b) here
+    | V.Mneg (d, a) -> regs.(d) <- Int64.neg regs.(a)
+    | V.Mnot (d, a) -> regs.(d) <- (if Int64.equal regs.(a) 0L then 1L else 0L)
+    | V.Maddi (d, a, k) ->
+      regs.(d) <- Int64.add regs.(a) (Int64.of_int k);
+      if d = Regalloc.sp then check_sp ()
+    | V.Mload (d, a, off) ->
+      let addr = data_access (Int64.add regs.(a) (Int64.of_int off)) here in
+      regs.(d) <- mem.(addr)
+    | V.Mstore (a, off, b) ->
+      let addr = data_access (Int64.add regs.(a) (Int64.of_int off)) here in
+      mem.(addr) <- regs.(b)
+    | V.Mjmp t ->
+      Branch_predictor.unconditional predictor;
+      next := target_addr t
+    | V.Mbeqz (r, t) ->
+      let taken = Int64.equal regs.(r) 0L in
+      if not (Branch_predictor.conditional predictor ~pc:here ~taken) then
+        cycles := !cycles + config.penalties.branch_mispredict;
+      if taken then next := target_addr t
+    | V.Mbnez (r, t) ->
+      let taken = not (Int64.equal regs.(r) 0L) in
+      if not (Branch_predictor.conditional predictor ~pc:here ~taken) then
+        cycles := !cycles + config.penalties.branch_mispredict;
+      if taken then next := target_addr t
+    | V.Mcall t ->
+      Branch_predictor.unconditional predictor;
+      let sp = Int64.to_int regs.(Regalloc.sp) - 1 in
+      regs.(Regalloc.sp) <- Int64.of_int sp;
+      check_sp ();
+      let _ = data_access (Int64.of_int sp) here in
+      mem.(sp) <- Int64.of_int (here + 1);
+      next := target_addr t
+    | V.Mcalli r ->
+      Branch_predictor.always_mispredicted predictor;
+      cycles := !cycles + config.penalties.branch_mispredict;
+      let sp = Int64.to_int regs.(Regalloc.sp) - 1 in
+      regs.(Regalloc.sp) <- Int64.of_int sp;
+      check_sp ();
+      let _ = data_access (Int64.of_int sp) here in
+      mem.(sp) <- Int64.of_int (here + 1);
+      next := Int64.to_int regs.(r)
+    | V.Mret ->
+      Branch_predictor.always_mispredicted predictor;
+      cycles := !cycles + config.penalties.branch_mispredict;
+      let sp = Int64.to_int regs.(Regalloc.sp) in
+      let _ = data_access (Int64.of_int sp) here in
+      let ra = mem.(sp) in
+      regs.(Regalloc.sp) <- Int64.of_int (sp + 1);
+      next := Int64.to_int ra
+    | V.Msys (name, n) -> regs.(Regalloc.result_reg) <- syscall name n here);
+    pc := !next
+  done;
+  { exit_code = regs.(Regalloc.result_reg);
+    output = Buffer.contents output;
+    metrics =
+      { Metrics.instructions = !instructions; cycles = !cycles;
+        icache_accesses = icache.Cache.accesses;
+        icache_misses = icache.Cache.misses;
+        dcache_accesses = dcache.Cache.accesses;
+        dcache_misses = dcache.Cache.misses;
+        branches = predictor.Branch_predictor.branches;
+        branch_mispredicts = predictor.Branch_predictor.mispredicts } }
+
+(** Compile (lower + lay out) and simulate a ucode program. *)
+let run_program ?config (p : U.program) : result =
+  run ?config (Layout.build p)

@@ -1,0 +1,52 @@
+(** The machine simulator — the stand-in for the PA8000 simulator
+    behind the paper's Figure 7.  Executes a laid-out image while
+    driving an I-cache (per fetch), a D-cache (per load/store) and a
+    branch predictor (returns and indirect calls always mispredict);
+    cycles are 1 per retired instruction plus miss, mispredict and
+    multiplier/divider latencies. *)
+
+type penalties = {
+  icache_miss : int;
+  dcache_miss : int;
+  branch_mispredict : int;
+  mul_extra : int;
+  div_extra : int;
+}
+
+val default_penalties : penalties
+
+type config = {
+  memory_cells : int;
+  max_instructions : int;
+  icache : Cache.config;
+  dcache : Cache.config;
+  predictor_entries : int;
+  penalties : penalties;
+}
+
+val default_config : config
+
+type trap =
+  | Division_by_zero
+  | Memory_fault of int64
+  | Stack_overflow
+  | Bad_jump of int
+  | Aborted
+  | Out_of_instructions
+  | Out_of_memory
+
+(** Carries the trap and the faulting pc. *)
+exception Trap of trap * int
+
+val trap_message : trap -> string
+
+type result = {
+  exit_code : int64;
+  output : string;
+  metrics : Metrics.t;
+}
+
+val run : ?config:config -> Layout.image -> result
+
+(** Lower + lay out + simulate in one step. *)
+val run_program : ?config:config -> Ucode.Types.program -> result

@@ -1,0 +1,84 @@
+(** VR32: the virtual RISC the back end targets.
+
+    A load/store machine with 32 physical registers and a word-addressed
+    memory shared with the IR semantics (one cell = one 64-bit word).
+    Instructions occupy one word of a separate instruction memory; the
+    I-cache is indexed by instruction address.
+
+    Register convention (see {!Regalloc}):
+    - [r0]      hardwired zero (unused by generated code)
+    - [r1]      return value
+    - [r2–r15]  caller-saved temporaries
+    - [r16–r28] callee-saved
+    - [r29,r30] reserved assembler scratch (spill traffic)
+    - [r31]     stack pointer
+
+    Calls pass arguments on the stack: the caller stores actuals just
+    below its stack pointer, drops [sp] past them, and [call] pushes
+    the return address.  All of that traffic is ordinary [store]/[load]
+    instructions, which is exactly why inlining away a call visibly
+    reduces D-cache accesses — the effect the paper measures in
+    Figure 7. *)
+
+type mreg = int
+
+(** Branch/jump/call targets are symbolic until {!Layout} assigns
+    addresses. *)
+type target =
+  | Tblock of Ucode.Types.label  (** block of the routine being lowered *)
+  | Tlocal of int                (** offset within the routine's code *)
+  | Troutine of string           (** entry of a routine *)
+  | Tglobal of string            (** address of a global (for [Mla]) *)
+  | Taddr of int                 (** resolved absolute address *)
+
+type t =
+  | Mli of mreg * int64          (** [rd <- imm] *)
+  | Mla of mreg * target         (** [rd <- address] (routine handle / global) *)
+  | Mmov of mreg * mreg
+  | Malu of Ucode.Types.binop * mreg * mreg * mreg  (** [rd <- ra op rb] *)
+  | Mneg of mreg * mreg
+  | Mnot of mreg * mreg
+  | Maddi of mreg * mreg * int   (** [rd <- ra + imm] (sp arithmetic) *)
+  | Mload of mreg * mreg * int   (** [rd <- mem(ra + off)] *)
+  | Mstore of mreg * int * mreg  (** [mem(ra + off) <- rb] *)
+  | Mjmp of target
+  | Mbeqz of mreg * target
+  | Mbnez of mreg * target
+  | Mcall of target              (** push return address; jump *)
+  | Mcalli of mreg               (** indirect call through an address *)
+  | Mret
+  | Msys of string * int         (** builtin name, argument count *)
+  | Mhalt
+
+let is_branch = function
+  | Mjmp _ | Mbeqz _ | Mbnez _ | Mcall _ | Mcalli _ | Mret -> true
+  | _ -> false
+
+let is_memory = function Mload _ | Mstore _ -> true | _ -> false
+
+let pp_target ppf = function
+  | Tblock l -> Fmt.pf ppf "L%d" l
+  | Tlocal off -> Fmt.pf ppf "+%d" off
+  | Troutine n -> Fmt.string ppf n
+  | Tglobal g -> Fmt.pf ppf "&%s" g
+  | Taddr a -> Fmt.pf ppf "@%d" a
+
+let pp ppf = function
+  | Mli (d, k) -> Fmt.pf ppf "li r%d, %Ld" d k
+  | Mla (d, t) -> Fmt.pf ppf "la r%d, %a" d pp_target t
+  | Mmov (d, a) -> Fmt.pf ppf "mov r%d, r%d" d a
+  | Malu (op, d, a, b) ->
+    Fmt.pf ppf "%s r%d, r%d, r%d" (Ucode.Pp.binop_name op) d a b
+  | Mneg (d, a) -> Fmt.pf ppf "neg r%d, r%d" d a
+  | Mnot (d, a) -> Fmt.pf ppf "not r%d, r%d" d a
+  | Maddi (d, a, k) -> Fmt.pf ppf "addi r%d, r%d, %d" d a k
+  | Mload (d, a, off) -> Fmt.pf ppf "ld r%d, %d(r%d)" d off a
+  | Mstore (a, off, b) -> Fmt.pf ppf "st r%d, %d(r%d)" b off a
+  | Mjmp t -> Fmt.pf ppf "j %a" pp_target t
+  | Mbeqz (r, t) -> Fmt.pf ppf "beqz r%d, %a" r pp_target t
+  | Mbnez (r, t) -> Fmt.pf ppf "bnez r%d, %a" r pp_target t
+  | Mcall t -> Fmt.pf ppf "call %a" pp_target t
+  | Mcalli r -> Fmt.pf ppf "calli r%d" r
+  | Mret -> Fmt.string ppf "ret"
+  | Msys (n, k) -> Fmt.pf ppf "sys %s/%d" n k
+  | Mhalt -> Fmt.string ppf "halt"

@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Ast Diag Lexer List Lower Parser Sema Ucode

@@ -1,0 +1,1 @@
+lib/minic/diag.ml: Fmt List Printf

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Char Diag Int64 List Printf String Token

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Diag List Option Printf Sema Ucode

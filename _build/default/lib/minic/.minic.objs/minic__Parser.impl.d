@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Diag Int64 Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Ast Diag Hashtbl List Option

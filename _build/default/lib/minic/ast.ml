@@ -1,0 +1,84 @@
+(** Abstract syntax of MiniC.
+
+    MiniC is the single-type (64-bit integer) C-like language the
+    workloads are written in.  It was designed to exercise every
+    call-site feature the paper's policies key on: multiple modules,
+    [static] linkage, calls with mismatched arity, attribute-restricted
+    routines ([noinline], [varargs], [alloca], [fprelaxed]), function
+    values and indirect calls, global scalars and arrays. *)
+
+type unop = Neg | Lnot  (** arithmetic negation; logical not *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuit *)
+
+type expr = { e : expr_desc; e_pos : Diag.pos }
+
+and expr_desc =
+  | Int of int64
+  | Ident of string
+      (** a local, a parameter, a global scalar (read), a global array
+          (decays to its address) or a function (decays to its handle) *)
+  | Index of expr * expr  (** [base[index]]: load through address *)
+  | Call of string * expr list
+      (** direct if the name denotes a function, indirect if it denotes
+          a variable holding a function handle *)
+  | Addr_of of string     (** [&name]: address of a global / handle of a function *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+
+type stmt = { s : stmt_desc; s_pos : Diag.pos }
+
+and stmt_desc =
+  | Decl of string * expr              (** [var x = e;] *)
+  | Assign of string * expr
+  | Index_assign of expr * expr * expr (** [base[index] = value;] *)
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Return of expr option
+  | Expr of expr
+  | Break
+  | Continue
+
+and block = stmt list
+
+type func_attrs = {
+  fa_static : bool;
+  fa_noinline : bool;
+  fa_noclone : bool;
+  fa_varargs : bool;
+  fa_alloca : bool;
+  fa_fprelaxed : bool;
+}
+
+let default_func_attrs =
+  { fa_static = false; fa_noinline = false; fa_noclone = false;
+    fa_varargs = false; fa_alloca = false; fa_fprelaxed = false }
+
+type func = {
+  f_name : string;
+  f_params : string list;
+  f_body : block;
+  f_attrs : func_attrs;
+  f_pos : Diag.pos;
+}
+
+type global = {
+  g_name : string;
+  g_public : bool;
+  g_size : int;          (** 1 for scalars *)
+  g_is_array : bool;
+  g_init : int64 list;
+  g_pos : Diag.pos;
+}
+
+(** One source module (compilation unit). *)
+type unit_ = {
+  u_name : string;  (** module name, from the file name *)
+  u_funcs : func list;
+  u_globals : global list;
+}

@@ -1,0 +1,48 @@
+(** Front-end driver: source text to linked ucode program.
+
+    This is the "front end + linker" half of the paper's isom pipeline:
+    every module of the program is parsed, checked against the others'
+    exports, lowered, and linked into a single {!Ucode.Types.program}
+    ready for HLO. *)
+
+type source = { src_module : string; src_text : string }
+
+let source ~module_name text = { src_module = module_name; src_text = text }
+
+(** Compile and link a multi-module program.  Raises
+    {!Diag.Compile_error} on the first batch of errors (warnings are
+    returned alongside the program). *)
+let compile_program ?(main = "main") (sources : source list) :
+    Ucode.Types.program * Diag.t list =
+  let units =
+    List.map
+      (fun s ->
+        try
+          Parser.parse ~module_name:s.src_module ~file:(s.src_module ^ ".mc")
+            s.src_text
+        with
+        | Lexer.Lex_error d | Parser.Parse_error d ->
+          raise (Diag.Compile_error [ d ]))
+      sources
+  in
+  let diags = Sema.check_program units in
+  Diag.fail_on_errors diags;
+  let all_exports = List.map Sema.exports_of_unit units in
+  let modules =
+    List.map
+      (fun (u : Ast.unit_) ->
+        let ext =
+          Sema.combine_exts
+            (List.filteri
+               (fun i _ -> (List.nth units i).Ast.u_name <> u.Ast.u_name)
+               all_exports)
+        in
+        Lower.lower_unit ~ext u)
+      units
+  in
+  (Ucode.Linker.link ~main modules, diags)
+
+(** Convenience for tests and examples: compile a single-module
+    program given as one source string. *)
+let compile_string ?(module_name = "main") ?(main = "main") text =
+  fst (compile_program ~main [ source ~module_name text ])

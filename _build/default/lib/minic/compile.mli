@@ -1,0 +1,17 @@
+(** Front-end driver: MiniC source text to a linked ucode program
+    (the "front ends + linker" half of the paper's isom pipeline). *)
+
+type source = { src_module : string; src_text : string }
+
+val source : module_name:string -> string -> source
+
+(** Parse, check (each module against the others' exports), lower and
+    link a multi-module program.  Returns the program and all
+    diagnostics (warnings included).  Raises {!Diag.Compile_error} on
+    errors and {!Ucode.Linker.Link_error} on link failures. *)
+val compile_program :
+  ?main:string -> source list -> Ucode.Types.program * Diag.t list
+
+(** Compile a single-module program given as one string. *)
+val compile_string :
+  ?module_name:string -> ?main:string -> string -> Ucode.Types.program

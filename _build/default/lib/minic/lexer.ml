@@ -1,0 +1,185 @@
+(** Hand-written lexer for MiniC.
+
+    Produces the full token list up front (MiniC sources are small);
+    each token carries its starting position.  Supports decimal and
+    hexadecimal integers, character literals, [//] line comments and
+    [/* */] block comments (non-nesting, like C). *)
+
+type lexed = { tok : Token.t; pos : Diag.pos }
+
+exception Lex_error of Diag.t
+
+let fail pos fmt =
+  Printf.ksprintf (fun m -> raise (Lex_error (Diag.error pos "%s" m))) fmt
+
+type state = {
+  src : string;
+  file : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let pos_of st =
+  { Diag.file = st.file; line = st.line; col = st.off - st.bol + 1 }
+
+let peek st = if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let peek2 st =
+  if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.off + 1
+  | _ -> ());
+  st.off <- st.off + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = pos_of st in
+    advance st;
+    advance st;
+    let rec loop () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        loop ()
+      | None, _ -> fail start "unterminated block comment"
+    in
+    loop ();
+    skip_ws_and_comments st
+  | _ -> ()
+
+let lex_number st =
+  let pos = pos_of st in
+  let start = st.off in
+  let hex =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done
+  end
+  else
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+  let text = String.sub st.src start (st.off - start) in
+  match Int64.of_string_opt text with
+  | Some v -> { tok = Token.INT v; pos }
+  | None -> fail pos "invalid integer literal %s" text
+
+let lex_char st =
+  let pos = pos_of st in
+  advance st;
+  let value =
+    match peek st with
+    | Some '\\' -> (
+      advance st;
+      let c =
+        match peek st with
+        | Some 'n' -> '\n'
+        | Some 't' -> '\t'
+        | Some '0' -> '\000'
+        | Some '\\' -> '\\'
+        | Some '\'' -> '\''
+        | Some c -> fail pos "unknown escape \\%c" c
+        | None -> fail pos "unterminated character literal"
+      in
+      advance st;
+      Int64.of_int (Char.code c))
+    | Some c ->
+      advance st;
+      Int64.of_int (Char.code c)
+    | None -> fail pos "unterminated character literal"
+  in
+  (match peek st with
+  | Some '\'' -> advance st
+  | _ -> fail pos "unterminated character literal");
+  { tok = Token.INT value; pos }
+
+let lex_ident st =
+  let pos = pos_of st in
+  let start = st.off in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.off - start) in
+  let tok =
+    match List.assoc_opt text Token.keywords with
+    | Some kw -> kw
+    | None -> Token.IDENT text
+  in
+  { tok; pos }
+
+let lex_operator st =
+  let pos = pos_of st in
+  let two tok = advance st; advance st; { tok; pos } in
+  let one tok = advance st; { tok; pos } in
+  match (peek st, peek2 st) with
+  | Some '<', Some '<' -> two Token.SHL
+  | Some '>', Some '>' -> two Token.SHR
+  | Some '<', Some '=' -> two Token.LE
+  | Some '>', Some '=' -> two Token.GE
+  | Some '=', Some '=' -> two Token.EQ
+  | Some '!', Some '=' -> two Token.NE
+  | Some '&', Some '&' -> two Token.AMPAMP
+  | Some '|', Some '|' -> two Token.PIPEPIPE
+  | Some '(', _ -> one Token.LPAREN
+  | Some ')', _ -> one Token.RPAREN
+  | Some '{', _ -> one Token.LBRACE
+  | Some '}', _ -> one Token.RBRACE
+  | Some '[', _ -> one Token.LBRACKET
+  | Some ']', _ -> one Token.RBRACKET
+  | Some ',', _ -> one Token.COMMA
+  | Some ';', _ -> one Token.SEMI
+  | Some '=', _ -> one Token.ASSIGN
+  | Some '+', _ -> one Token.PLUS
+  | Some '-', _ -> one Token.MINUS
+  | Some '*', _ -> one Token.STAR
+  | Some '/', _ -> one Token.SLASH
+  | Some '%', _ -> one Token.PERCENT
+  | Some '&', _ -> one Token.AMP
+  | Some '|', _ -> one Token.PIPE
+  | Some '^', _ -> one Token.CARET
+  | Some '!', _ -> one Token.BANG
+  | Some '<', _ -> one Token.LT
+  | Some '>', _ -> one Token.GT
+  | Some c, _ -> fail pos "unexpected character %C" c
+  | None, _ -> { tok = Token.EOF; pos }
+
+(** Tokenize a whole source file.  The result always ends with [EOF]. *)
+let tokenize ~file src : lexed list =
+  let st = { src; file; off = 0; line = 1; bol = 0 } in
+  let rec loop acc =
+    skip_ws_and_comments st;
+    match peek st with
+    | None -> List.rev ({ tok = Token.EOF; pos = pos_of st } :: acc)
+    | Some c when is_digit c -> loop (lex_number st :: acc)
+    | Some '\'' -> loop (lex_char st :: acc)
+    | Some c when is_ident_start c -> loop (lex_ident st :: acc)
+    | Some _ -> loop (lex_operator st :: acc)
+  in
+  loop []

@@ -1,0 +1,10 @@
+(** Hand-written lexer for MiniC: decimal/hex integers, character
+    literals with escapes, [//] and [/* */] comments.  Produces the
+    whole token list up front; every token carries its position. *)
+
+type lexed = { tok : Token.t; pos : Diag.pos }
+
+exception Lex_error of Diag.t
+
+(** Tokenize a source file; the result always ends with [EOF]. *)
+val tokenize : file:string -> string -> lexed list

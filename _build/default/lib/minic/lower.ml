@@ -1,0 +1,301 @@
+(** Lowering MiniC to ucode.
+
+    One routine per function; globals become ucode globals.  Names in
+    calls, [faddr] and [gaddr] stay source-level — the linker resolves
+    and mangles them.  Call sites get module-local ids (the linker
+    renumbers them to program-unique ids).
+
+    Conventions:
+    - every local variable owns a dedicated register (assignment is a
+      [Move] into it), so expression temporaries can be reused freely;
+    - conditions are values: any nonzero register is true;
+    - comparison and logical operators produce 0 or 1;
+    - a function that falls off its end returns 0. *)
+
+open Ast
+module U = Ucode.Types
+module B = Ucode.Builder
+
+exception Lower_error of Diag.t
+
+let fail pos fmt =
+  Printf.ksprintf (fun m -> raise (Lower_error (Diag.error pos "%s" m))) fmt
+
+type ctx = {
+  b : B.t;
+  env : Sema.env;
+  mutable scopes : (string * U.reg) list list;  (** innermost first *)
+  mutable loops : (U.label * U.label) list;     (** (break, continue) *)
+}
+
+let lookup_local ctx name =
+  let rec search = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some r -> Some r
+      | None -> search rest)
+  in
+  search ctx.scopes
+
+let declare_local ctx name reg =
+  match ctx.scopes with
+  | scope :: rest -> ctx.scopes <- ((name, reg) :: scope) :: rest
+  | [] -> invalid_arg "Lower.declare_local: no open scope"
+
+let push_scope ctx = ctx.scopes <- [] :: ctx.scopes
+
+let pop_scope ctx =
+  match ctx.scopes with
+  | _ :: rest -> ctx.scopes <- rest
+  | [] -> invalid_arg "Lower.pop_scope: no open scope"
+
+(** If the previous statement sealed the current block (return, break,
+    continue), open a fresh block for the (unreachable) code that
+    follows; CFG simplification deletes it later. *)
+let ensure_block ctx =
+  if not (B.in_block ctx.b) then B.start_block ctx.b (B.fresh_label ctx.b)
+
+let binop_of_ast = function
+  | Add -> U.Add | Sub -> U.Sub | Mul -> U.Mul | Div -> U.Div | Rem -> U.Rem
+  | Band -> U.And | Bor -> U.Or | Bxor -> U.Xor | Shl -> U.Shl | Shr -> U.Shr
+  | Eq -> U.Eq | Ne -> U.Ne | Lt -> U.Lt | Le -> U.Le | Gt -> U.Gt | Ge -> U.Ge
+  | Land | Lor -> invalid_arg "binop_of_ast: short-circuit operator"
+
+let rec lower_expr ctx (e : expr) : U.reg =
+  match e.e with
+  | Int v -> B.const ctx.b v
+  | Ident name -> (
+    match lookup_local ctx name with
+    | Some r -> r
+    | None -> (
+      match Sema.lookup ctx.env name with
+      | Some (Sema.Kglobal { array = true; _ }) ->
+        (* Arrays decay to their address. *)
+        let d = B.fresh_reg ctx.b in
+        B.emit ctx.b (U.Gaddr (d, name));
+        d
+      | Some (Sema.Kglobal _) ->
+        let addr = B.fresh_reg ctx.b in
+        B.emit ctx.b (U.Gaddr (addr, name));
+        B.load ctx.b addr
+      | Some (Sema.Kfunc _) ->
+        let d = B.fresh_reg ctx.b in
+        B.emit ctx.b (U.Faddr (d, name));
+        d
+      | Some (Sema.Kbuiltin _) ->
+        fail e.e_pos "cannot take the value of builtin %s" name
+      | None -> fail e.e_pos "undefined identifier %s" name))
+  | Index (base, idx) ->
+    let addr = lower_address ctx base idx in
+    B.load ctx.b addr
+  | Call (name, args) -> (
+    match lower_call ctx ~want_value:true e.e_pos name args with
+    | Some r -> r
+    | None -> assert false)
+  | Addr_of name -> (
+    match Sema.lookup ctx.env name with
+    | Some (Sema.Kglobal _) ->
+      let d = B.fresh_reg ctx.b in
+      B.emit ctx.b (U.Gaddr (d, name));
+      d
+    | Some (Sema.Kfunc _) ->
+      let d = B.fresh_reg ctx.b in
+      B.emit ctx.b (U.Faddr (d, name));
+      d
+    | Some (Sema.Kbuiltin _) | None ->
+      fail e.e_pos "cannot take the address of %s" name)
+  | Unary (Neg, a) ->
+    let ra = lower_expr ctx a in
+    B.unop ctx.b U.Neg ra
+  | Unary (Lnot, a) ->
+    let ra = lower_expr ctx a in
+    B.unop ctx.b U.Not ra
+  | Binary (Land, a, b) -> lower_short_circuit ctx ~is_and:true a b
+  | Binary (Lor, a, b) -> lower_short_circuit ctx ~is_and:false a b
+  | Binary (op, a, b) ->
+    let ra = lower_expr ctx a in
+    let rb = lower_expr ctx b in
+    B.binop ctx.b (binop_of_ast op) ra rb
+
+(** Address of [base[idx]]. *)
+and lower_address ctx base idx =
+  let base_reg = lower_expr ctx base in
+  let idx_reg = lower_expr ctx idx in
+  B.binop ctx.b U.Add base_reg idx_reg
+
+(** [a && b] / [a || b] with proper short-circuiting; the result (0 or
+    1) is written into a dedicated register along both paths. *)
+and lower_short_circuit ctx ~is_and a b =
+  let b_ = ctx.b in
+  let res = B.fresh_reg b_ in
+  let l_rhs = B.fresh_label b_ in
+  let l_short = B.fresh_label b_ in
+  let l_join = B.fresh_label b_ in
+  let ra = lower_expr ctx a in
+  if is_and then B.seal b_ (U.Branch (ra, l_rhs, l_short))
+  else B.seal b_ (U.Branch (ra, l_short, l_rhs));
+  B.start_block b_ l_rhs;
+  let rb = lower_expr ctx b in
+  let zero = B.const b_ 0L in
+  let norm = B.binop b_ U.Ne rb zero in
+  B.emit b_ (U.Move (res, norm));
+  B.seal b_ (U.Jump l_join);
+  B.start_block b_ l_short;
+  B.emit b_ (U.Const (res, if is_and then 0L else 1L));
+  B.seal b_ (U.Jump l_join);
+  B.start_block b_ l_join;
+  res
+
+(** Lower a call.  Resolution: a local or global variable holding a
+    function handle gives an indirect call; a known function or builtin
+    gives a direct call by (still unresolved) name. *)
+and lower_call ctx ~want_value pos name args =
+  let arg_regs = List.map (lower_expr ctx) args in
+  let dst = if want_value then Some (B.fresh_reg ctx.b) else None in
+  let callee =
+    match lookup_local ctx name with
+    | Some r -> U.Indirect r
+    | None -> (
+      match Sema.lookup ctx.env name with
+      | Some (Sema.Kfunc _) | Some (Sema.Kbuiltin _) -> U.Direct name
+      | Some (Sema.Kglobal { array = false; _ }) ->
+        let addr = B.fresh_reg ctx.b in
+        B.emit ctx.b (U.Gaddr (addr, name));
+        let handle = B.load ctx.b addr in
+        U.Indirect handle
+      | Some (Sema.Kglobal _) -> fail pos "cannot call array %s" name
+      | None -> fail pos "call to undefined %s" name)
+  in
+  B.call ctx.b ~dst callee arg_regs;
+  dst
+
+let rec lower_stmt ctx (s : stmt) =
+  ensure_block ctx;
+  match s.s with
+  | Decl (name, e) ->
+    let value = lower_expr ctx e in
+    let slot = B.fresh_reg ctx.b in
+    B.emit ctx.b (U.Move (slot, value));
+    declare_local ctx name slot
+  | Assign (name, e) -> (
+    match lookup_local ctx name with
+    | Some slot ->
+      let value = lower_expr ctx e in
+      B.emit ctx.b (U.Move (slot, value))
+    | None -> (
+      match Sema.lookup ctx.env name with
+      | Some (Sema.Kglobal _) ->
+        let value = lower_expr ctx e in
+        let addr = B.fresh_reg ctx.b in
+        B.emit ctx.b (U.Gaddr (addr, name));
+        B.emit ctx.b (U.Store (addr, value))
+      | _ -> fail s.s_pos "assignment to undefined %s" name))
+  | Index_assign (base, idx, e) ->
+    let addr = lower_address ctx base idx in
+    let value = lower_expr ctx e in
+    B.emit ctx.b (U.Store (addr, value))
+  | If (cond, then_, else_) ->
+    let rc = lower_expr ctx cond in
+    let l_then = B.fresh_label ctx.b in
+    let l_else = B.fresh_label ctx.b in
+    let l_join = B.fresh_label ctx.b in
+    B.seal ctx.b (U.Branch (rc, l_then, l_else));
+    B.start_block ctx.b l_then;
+    lower_block ctx then_;
+    if B.in_block ctx.b then B.seal ctx.b (U.Jump l_join);
+    B.start_block ctx.b l_else;
+    lower_block ctx else_;
+    if B.in_block ctx.b then B.seal ctx.b (U.Jump l_join);
+    B.start_block ctx.b l_join
+  | While (cond, body) ->
+    let l_cond = B.fresh_label ctx.b in
+    let l_body = B.fresh_label ctx.b in
+    let l_exit = B.fresh_label ctx.b in
+    B.seal ctx.b (U.Jump l_cond);
+    B.start_block ctx.b l_cond;
+    let rc = lower_expr ctx cond in
+    B.seal ctx.b (U.Branch (rc, l_body, l_exit));
+    B.start_block ctx.b l_body;
+    ctx.loops <- (l_exit, l_cond) :: ctx.loops;
+    lower_block ctx body;
+    ctx.loops <- List.tl ctx.loops;
+    if B.in_block ctx.b then B.seal ctx.b (U.Jump l_cond);
+    B.start_block ctx.b l_exit
+  | For (init, cond, step, body) ->
+    push_scope ctx;
+    Option.iter (lower_stmt ctx) init;
+    let l_cond = B.fresh_label ctx.b in
+    let l_body = B.fresh_label ctx.b in
+    let l_step = B.fresh_label ctx.b in
+    let l_exit = B.fresh_label ctx.b in
+    B.seal ctx.b (U.Jump l_cond);
+    B.start_block ctx.b l_cond;
+    (match cond with
+    | Some c ->
+      let rc = lower_expr ctx c in
+      B.seal ctx.b (U.Branch (rc, l_body, l_exit))
+    | None -> B.seal ctx.b (U.Jump l_body));
+    B.start_block ctx.b l_body;
+    ctx.loops <- (l_exit, l_step) :: ctx.loops;
+    lower_block ctx body;
+    ctx.loops <- List.tl ctx.loops;
+    if B.in_block ctx.b then B.seal ctx.b (U.Jump l_step);
+    B.start_block ctx.b l_step;
+    Option.iter (lower_stmt ctx) step;
+    B.seal ctx.b (U.Jump l_cond);
+    B.start_block ctx.b l_exit;
+    pop_scope ctx
+  | Return (Some e) ->
+    let r = lower_expr ctx e in
+    B.seal ctx.b (U.Return (Some r))
+  | Return None -> B.seal ctx.b (U.Return None)
+  | Expr { e = Call (name, args); e_pos } ->
+    ignore (lower_call ctx ~want_value:false e_pos name args)
+  | Expr e -> ignore (lower_expr ctx e)
+  | Break -> (
+    match ctx.loops with
+    | (l_break, _) :: _ -> B.seal ctx.b (U.Jump l_break)
+    | [] -> fail s.s_pos "break outside of a loop")
+  | Continue -> (
+    match ctx.loops with
+    | (_, l_continue) :: _ -> B.seal ctx.b (U.Jump l_continue)
+    | [] -> fail s.s_pos "continue outside of a loop")
+
+and lower_block ctx block =
+  push_scope ctx;
+  List.iter (lower_stmt ctx) block;
+  pop_scope ctx
+
+let attrs_of_func (f : func) : U.attrs =
+  { U.a_varargs = f.f_attrs.fa_varargs; a_alloca = f.f_attrs.fa_alloca;
+    a_fp_model = (if f.f_attrs.fa_fprelaxed then U.Relaxed else U.Strict);
+    a_no_inline = f.f_attrs.fa_noinline; a_no_clone = f.f_attrs.fa_noclone }
+
+let lower_func ~module_name ~env ~fresh_site (f : func) : U.routine =
+  let linkage = if f.f_attrs.fa_static then U.Module_local else U.Exported in
+  let b, params =
+    B.create ~name:f.f_name ~module_name ~attrs:(attrs_of_func f) ~linkage
+      ~nparams:(List.length f.f_params) ~fresh_site ()
+  in
+  let ctx = { b; env; scopes = [ [] ]; loops = [] } in
+  List.iter2 (fun name reg -> declare_local ctx name reg) f.f_params params;
+  let entry = B.fresh_label b in
+  B.start_block b entry;
+  List.iter (lower_stmt ctx) f.f_body;
+  if B.in_block b then B.seal b (U.Return None);
+  B.finish b
+
+let lower_global ~module_name (g : Ast.global) : U.global =
+  { U.g_name = g.g_name; g_module = module_name; g_size = g.g_size;
+    g_init = g.g_init;
+    g_linkage = (if g.g_public then U.Exported else U.Module_local) }
+
+(** Lower a checked module to linkable IR. *)
+let lower_unit ?(ext = Sema.empty_ext) (u : unit_) : Ucode.Linker.module_ir =
+  let env = Sema.build_env ext u in
+  let fresh_site, _count = B.site_counter () in
+  { Ucode.Linker.m_name = u.u_name;
+    m_routines =
+      List.map (lower_func ~module_name:u.u_name ~env ~fresh_site) u.u_funcs;
+    m_globals = List.map (lower_global ~module_name:u.u_name) u.u_globals }

@@ -1,0 +1,9 @@
+(** Lowering checked MiniC to ucode: one routine per function, a
+    dedicated register per local, short-circuit operators as control
+    flow, conditions as nonzero tests, implicit [return 0] off the end.
+    Names stay source-level; {!Ucode.Linker} resolves them. *)
+
+exception Lower_error of Diag.t
+
+(** Lower one module to linkable IR. *)
+val lower_unit : ?ext:Sema.ext_env -> Ast.unit_ -> Ucode.Linker.module_ir

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for MiniC (precedence climbing for binary
+    operators, one-token lookahead; assignment disambiguated by parsing
+    an expression and reinterpreting it as an lvalue). *)
+
+exception Parse_error of Diag.t
+
+(** Parse one module from already-lexed tokens. *)
+val parse_unit : module_name:string -> Lexer.lexed list -> Ast.unit_
+
+(** Lex and parse one module from source text. *)
+val parse : module_name:string -> file:string -> string -> Ast.unit_

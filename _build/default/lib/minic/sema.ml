@@ -1,0 +1,240 @@
+(** Semantic analysis for MiniC.
+
+    Checks one module against the set of names exported by the other
+    modules of the program (sema runs after all modules have been
+    parsed, mirroring the isom compile model where the whole program is
+    visible at once).
+
+    Note that a call whose argument count disagrees with the callee's
+    parameter count is a *warning*, not an error — exactly the kind of
+    dusty-deck C the paper's legality screen has to cope with
+    ("argument arity differences" make a site illegal to transform but
+    the program still compiles and runs). *)
+
+open Ast
+
+(** Names exported by the rest of the program. *)
+type ext_env = {
+  ext_funcs : (string * int) list;  (** exported function name, arity *)
+  ext_globals : (string * int * bool) list;
+      (** public global name, size, is-array *)
+}
+
+let empty_ext = { ext_funcs = []; ext_globals = [] }
+
+(** What a name visible in a module resolves to (ignoring locals). *)
+type kind =
+  | Kglobal of { size : int; array : bool }
+  | Kfunc of int     (** a defined function with its arity *)
+  | Kbuiltin of int  (** a builtin with its arity *)
+
+let builtin_arities =
+  [ ("print_int", 1); ("print_char", 1); ("alloc", 1); ("abort", 0) ]
+
+(** Module-level name environment: everything visible in [u] except
+    locals.  Module definitions shadow external ones, which shadow
+    builtins. *)
+type env = { e_names : (string * kind) list }
+
+let build_env (ext : ext_env) (u : unit_) : env =
+  let module_globals =
+    List.map
+      (fun g -> (g.g_name, Kglobal { size = g.g_size; array = g.g_is_array }))
+      u.u_globals
+  in
+  let module_funcs =
+    List.map (fun f -> (f.f_name, Kfunc (List.length f.f_params))) u.u_funcs
+  in
+  let externals =
+    List.map
+      (fun (n, s, a) -> (n, Kglobal { size = s; array = a }))
+      ext.ext_globals
+    @ List.map (fun (n, a) -> (n, Kfunc a)) ext.ext_funcs
+  in
+  let builtins = List.map (fun (n, a) -> (n, Kbuiltin a)) builtin_arities in
+  { e_names = module_globals @ module_funcs @ externals @ builtins }
+
+let lookup env name = List.assoc_opt name env.e_names
+
+(** Exports of a parsed module, for building the [ext_env] of the
+    others. *)
+let exports_of_unit (u : unit_) : ext_env =
+  { ext_funcs =
+      List.filter_map
+        (fun f ->
+          if f.f_attrs.fa_static then None
+          else Some (f.f_name, List.length f.f_params))
+        u.u_funcs;
+    ext_globals =
+      List.filter_map
+        (fun g ->
+          if g.g_public then Some (g.g_name, g.g_size, g.g_is_array) else None)
+        u.u_globals }
+
+let combine_exts exts =
+  { ext_funcs = List.concat_map (fun e -> e.ext_funcs) exts;
+    ext_globals = List.concat_map (fun e -> e.ext_globals) exts }
+
+(* ------------------------------------------------------------------ *)
+
+type checker = {
+  env : env;
+  mutable diags : Diag.t list;
+  mutable scopes : string list list;  (** innermost first *)
+  mutable loop_depth : int;
+}
+
+let report c d = c.diags <- d :: c.diags
+
+let in_scope c name = List.exists (List.mem name) c.scopes
+
+let declare c pos name =
+  match c.scopes with
+  | [] -> invalid_arg "Sema.declare: no open scope"
+  | scope :: rest ->
+    if List.mem name scope then
+      report c (Diag.error pos "duplicate declaration of %s" name);
+    c.scopes <- (name :: scope) :: rest
+
+let push_scope c = c.scopes <- [] :: c.scopes
+
+let pop_scope c =
+  match c.scopes with
+  | [] -> invalid_arg "Sema.pop_scope: no open scope"
+  | _ :: rest -> c.scopes <- rest
+
+let rec check_expr c (e : expr) =
+  match e.e with
+  | Int _ -> ()
+  | Ident name ->
+    if not (in_scope c name) then (
+      match lookup c.env name with
+      | Some (Kglobal _) -> ()
+      | Some (Kfunc _) | Some (Kbuiltin _) ->
+        (* Decays to a function handle; legal. *)
+        ()
+      | None -> report c (Diag.error e.e_pos "undefined identifier %s" name))
+  | Index (base, idx) ->
+    check_expr c base;
+    check_expr c idx
+  | Call (name, args) ->
+    List.iter (check_expr c) args;
+    let nargs = List.length args in
+    if in_scope c name then
+      (* Indirect call through a local function handle. *)
+      ()
+    else (
+      match lookup c.env name with
+      | Some (Kfunc arity) | Some (Kbuiltin arity) ->
+        if arity <> nargs then
+          report c
+            (Diag.warning e.e_pos
+               "call to %s passes %d argument(s) but it takes %d" name nargs
+               arity)
+      | Some (Kglobal _) ->
+        report c
+          (Diag.warning e.e_pos
+             "call through global %s (indirect; cannot be checked)" name)
+      | None -> report c (Diag.error e.e_pos "call to undefined %s" name))
+  | Addr_of name ->
+    if in_scope c name then
+      report c (Diag.error e.e_pos "cannot take the address of local %s" name)
+    else if lookup c.env name = None then
+      report c (Diag.error e.e_pos "undefined identifier %s" name)
+  | Unary (_, a) -> check_expr c a
+  | Binary (_, a, b) ->
+    check_expr c a;
+    check_expr c b
+
+let rec check_stmt c (s : stmt) =
+  match s.s with
+  | Decl (name, e) ->
+    check_expr c e;
+    declare c s.s_pos name
+  | Assign (name, e) ->
+    check_expr c e;
+    if not (in_scope c name) then (
+      match lookup c.env name with
+      | Some (Kglobal { array; _ }) ->
+        if array then
+          report c
+            (Diag.error s.s_pos "cannot assign to array %s (index it)" name)
+      | Some (Kfunc _) | Some (Kbuiltin _) ->
+        report c (Diag.error s.s_pos "cannot assign to function %s" name)
+      | None -> report c (Diag.error s.s_pos "assignment to undefined %s" name))
+  | Index_assign (base, idx, value) ->
+    check_expr c base;
+    check_expr c idx;
+    check_expr c value
+  | If (cond, then_, else_) ->
+    check_expr c cond;
+    check_block c then_;
+    check_block c else_
+  | While (cond, body) ->
+    check_expr c cond;
+    c.loop_depth <- c.loop_depth + 1;
+    check_block c body;
+    c.loop_depth <- c.loop_depth - 1
+  | For (init, cond, step, body) ->
+    push_scope c;
+    Option.iter (check_stmt c) init;
+    Option.iter (check_expr c) cond;
+    c.loop_depth <- c.loop_depth + 1;
+    check_block c body;
+    Option.iter (check_stmt c) step;
+    c.loop_depth <- c.loop_depth - 1;
+    pop_scope c
+  | Return e -> Option.iter (check_expr c) e
+  | Expr e -> check_expr c e
+  | Break | Continue ->
+    if c.loop_depth = 0 then
+      report c (Diag.error s.s_pos "break/continue outside of a loop")
+
+and check_block c block =
+  push_scope c;
+  List.iter (check_stmt c) block;
+  pop_scope c
+
+let check_func c (f : func) =
+  c.scopes <- [ [] ];
+  c.loop_depth <- 0;
+  List.iter (fun p -> declare c f.f_pos p) f.f_params;
+  List.iter (check_stmt c) f.f_body;
+  c.scopes <- []
+
+(** Check one module.  Returns all diagnostics (errors and warnings). *)
+let check ?(ext = empty_ext) (u : unit_) : Diag.t list =
+  let env = build_env ext u in
+  let c = { env; diags = []; scopes = []; loop_depth = 0 } in
+  (* Duplicate top-level names within the module. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : func) ->
+      if Hashtbl.mem seen f.f_name then
+        report c (Diag.error f.f_pos "duplicate definition of %s" f.f_name);
+      Hashtbl.replace seen f.f_name ();
+      let ps = List.sort_uniq compare f.f_params in
+      if List.length ps <> List.length f.f_params then
+        report c (Diag.error f.f_pos "duplicate parameter names in %s" f.f_name))
+    u.u_funcs;
+  List.iter
+    (fun (g : Ast.global) ->
+      if Hashtbl.mem seen g.g_name then
+        report c (Diag.error g.g_pos "duplicate definition of %s" g.g_name);
+      Hashtbl.replace seen g.g_name ())
+    u.u_globals;
+  List.iter (check_func c) u.u_funcs;
+  List.rev c.diags
+
+(** Check a whole multi-module program; diagnostics for all modules. *)
+let check_program (units : unit_ list) : Diag.t list =
+  let all_exports = List.map exports_of_unit units in
+  List.concat_map
+    (fun u ->
+      let others =
+        List.filteri
+          (fun i _ -> (List.nth units i).u_name <> u.u_name)
+          all_exports
+      in
+      check ~ext:(combine_exts others) u)
+    units

@@ -1,0 +1,1 @@
+lib/opt/cfg.ml: Hashtbl List Option Ucode

@@ -1,0 +1,1 @@
+lib/opt/constprop.ml: Cfg Hashtbl Int64 List Option String Ucode

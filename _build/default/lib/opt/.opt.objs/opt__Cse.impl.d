@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Hashtbl List Option Ucode

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Fun List Liveness Ucode

@@ -1,0 +1,1 @@
+lib/opt/ipa.ml: Cfg Hashtbl List Option Ucode

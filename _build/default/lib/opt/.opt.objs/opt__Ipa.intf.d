@@ -1,0 +1,1 @@
+lib/opt/ipa.mli: Ucode

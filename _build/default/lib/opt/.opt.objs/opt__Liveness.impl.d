@@ -1,0 +1,1 @@
+lib/opt/liveness.ml: Cfg List Option Ucode

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Constprop Copyprop Cse Dce Ipa Licm List Option Simplify Strength Ucode

@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Cfg Hashtbl List Ucode

@@ -1,0 +1,1 @@
+lib/opt/strength.ml: Hashtbl Int64 List Ucode

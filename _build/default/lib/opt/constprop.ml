@@ -1,0 +1,229 @@
+(** Conditional constant propagation with folding, algebraic
+    simplification, constant-branch folding and — the enabler of the
+    paper's staged indirect-call optimization — devirtualization of
+    indirect calls whose callee register provably holds one function
+    handle.
+
+    A classic forward dataflow over the lattice
+    [Undef < Const k / Fun f < Nac].  Since the IR is not SSA the
+    transform cannot substitute constants into *uses*; instead it
+    rewrites defining instructions (fold to [Const]), turns [Move]s of
+    known constants into [Const], folds branches, and relies on
+    copy-propagation/CSE/DCE downstream to clean up. *)
+
+module U = Ucode.Types
+
+type value = Undef | Const of int64 | Fun of string | Nac
+
+let join a b =
+  match (a, b) with
+  | Undef, x | x, Undef -> x
+  | Const x, Const y when Int64.equal x y -> Const x
+  | Fun f, Fun g when String.equal f g -> Fun f
+  | _ -> Nac
+
+type env = value U.Int_map.t
+
+let get env r = Option.value ~default:Undef (U.Int_map.find_opt r env)
+
+let join_env (a : env) (b : env) : env =
+  U.Int_map.merge
+    (fun _ va vb ->
+      Some (join (Option.value ~default:Undef va) (Option.value ~default:Undef vb)))
+    a b
+
+let env_equal (a : env) (b : env) = U.Int_map.equal ( = ) a b
+
+(** Fold a binary operation over known constants.  Division and
+    remainder by zero are left alone so the trap is preserved. *)
+let fold_binop op a b =
+  let open Int64 in
+  let of_bool v = if v then 1L else 0L in
+  match op with
+  | U.Add -> Some (add a b)
+  | U.Sub -> Some (sub a b)
+  | U.Mul -> Some (mul a b)
+  | U.Div -> if equal b 0L then None else Some (div a b)
+  | U.Rem -> if equal b 0L then None else Some (rem a b)
+  | U.And -> Some (logand a b)
+  | U.Or -> Some (logor a b)
+  | U.Xor -> Some (logxor a b)
+  | U.Shl -> Some (shift_left a (to_int (logand b 63L)))
+  | U.Shr -> Some (shift_right a (to_int (logand b 63L)))
+  | U.Eq -> Some (of_bool (equal a b))
+  | U.Ne -> Some (of_bool (not (equal a b)))
+  | U.Lt -> Some (of_bool (compare a b < 0))
+  | U.Le -> Some (of_bool (compare a b <= 0))
+  | U.Gt -> Some (of_bool (compare a b > 0))
+  | U.Ge -> Some (of_bool (compare a b >= 0))
+
+let fold_unop op a =
+  match op with
+  | U.Neg -> Int64.neg a
+  | U.Not -> if Int64.equal a 0L then 1L else 0L
+
+(** Abstract transfer of one instruction. *)
+let transfer (env : env) (i : U.instr) : env =
+  let set d v = U.Int_map.add d v env in
+  match i with
+  | U.Const (d, k) -> set d (Const k)
+  | U.Faddr (d, f) -> set d (Fun f)
+  | U.Gaddr (d, _) -> set d Nac
+  | U.Unop (d, op, a) -> (
+    match get env a with
+    | Const k -> set d (Const (fold_unop op k))
+    | Undef -> set d Undef
+    | Fun _ | Nac -> set d Nac)
+  | U.Binop (d, op, a, b) -> (
+    match (get env a, get env b) with
+    | Const x, Const y -> (
+      match fold_binop op x y with
+      | Some k -> set d (Const k)
+      | None -> set d Nac)
+    | Undef, _ | _, Undef -> set d Undef
+    | _ -> set d Nac)
+  | U.Move (d, a) -> set d (get env a)
+  | U.Load (d, _) -> set d Nac
+  | U.Store _ -> env
+  | U.Call { c_dst = Some d; _ } -> set d Nac
+  | U.Call { c_dst = None; _ } -> env
+
+(** Converged state at the entry of every block. *)
+let analyze (r : U.routine) : env U.Int_map.t =
+  let rpo = Cfg.reverse_postorder r in
+  let preds = Cfg.predecessors r in
+  let blocks = Hashtbl.create 16 in
+  List.iter (fun (b : U.block) -> Hashtbl.replace blocks b.U.b_id b) r.U.r_blocks;
+  let entry_id = (U.entry_block r).U.b_id in
+  (* Parameters hold unknown values on entry. *)
+  let entry_env =
+    List.fold_left (fun e p -> U.Int_map.add p Nac e) U.Int_map.empty r.U.r_params
+  in
+  let in_states = ref (U.Int_map.singleton entry_id entry_env) in
+  let out_of label =
+    match U.Int_map.find_opt label !in_states with
+    | None -> None
+    | Some env ->
+      let b = Hashtbl.find blocks label in
+      Some (List.fold_left transfer env b.U.b_instrs)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun label ->
+        if label <> entry_id then begin
+          let pred_outs =
+            List.filter_map out_of
+              (Option.value ~default:[] (U.Int_map.find_opt label preds))
+          in
+          match pred_outs with
+          | [] -> ()  (* unreachable: leave absent (all-Undef) *)
+          | first :: rest ->
+            let merged = List.fold_left join_env first rest in
+            let old = U.Int_map.find_opt label !in_states in
+            if old = None || not (env_equal (Option.get old) merged) then begin
+              in_states := U.Int_map.add label merged !in_states;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  !in_states
+
+(** Abstract values of the arguments at every call site of [r]:
+    site id -> one lattice value per actual argument.  This is the raw
+    material of HLO's calling-context descriptors S(E) — "the caller
+    passes integer 0 as the first actual". *)
+let values_at_calls (r : U.routine) : value list U.Int_map.t =
+  let in_states = analyze r in
+  List.fold_left
+    (fun acc (b : U.block) ->
+      match U.Int_map.find_opt b.U.b_id in_states with
+      | None -> acc  (* unreachable block *)
+      | Some env0 ->
+        let env = ref env0 in
+        List.fold_left
+          (fun acc i ->
+            let acc =
+              match i with
+              | U.Call { c_site; c_args; _ } ->
+                U.Int_map.add c_site (List.map (get !env) c_args) acc
+              | _ -> acc
+            in
+            env := transfer !env i;
+            acc)
+          acc b.U.b_instrs)
+    U.Int_map.empty r.U.r_blocks
+
+(** Rewrite the routine using the analysis.  Returns the new routine
+    and whether anything changed.
+
+    [arity_of] guards devirtualization: an indirect call is only turned
+    direct when the argument count matches the target's parameters —
+    a mismatched indirect call is a dynamic error, and rewriting it
+    into a (pad-with-zeros) direct call would change behavior. *)
+let run ?(arity_of = fun (_ : string) -> (None : int option))
+    (r : U.routine) : U.routine * bool =
+  let in_states = analyze r in
+  let changed = ref false in
+  let rewrite_block (b : U.block) =
+    match U.Int_map.find_opt b.U.b_id in_states with
+    | None -> b  (* unreachable; simplify will drop it *)
+    | Some env0 ->
+      let env = ref env0 in
+      let rewrite_instr i =
+        let const_of r = match get !env r with Const k -> Some k | _ -> None in
+        let i' =
+          match i with
+          | U.Unop (d, op, a) -> (
+            match const_of a with
+            | Some k -> U.Const (d, fold_unop op k)
+            | None -> i)
+          | U.Binop (d, op, a, b_) -> (
+            match (const_of a, const_of b_) with
+            | Some x, Some y -> (
+              match fold_binop op x y with
+              | Some k -> U.Const (d, k)
+              | None -> i)
+            | _, Some 0L when op = U.Add || op = U.Sub || op = U.Or
+                              || op = U.Xor || op = U.Shl || op = U.Shr ->
+              U.Move (d, a)
+            | Some 0L, _ when op = U.Add || op = U.Or || op = U.Xor ->
+              U.Move (d, b_)
+            | _, Some 1L when op = U.Mul || op = U.Div -> U.Move (d, a)
+            | Some 1L, _ when op = U.Mul -> U.Move (d, b_)
+            | Some 0L, _ when op = U.Mul || op = U.And -> U.Const (d, 0L)
+            | _, Some 0L when op = U.Mul || op = U.And -> U.Const (d, 0L)
+            | _ -> i)
+          | U.Move (d, a) -> (
+            match get !env a with
+            | Const k -> U.Const (d, k)
+            | Fun f -> U.Faddr (d, f)
+            | Undef | Nac -> i)
+          | U.Call ({ c_callee = U.Indirect h; _ } as c) -> (
+            match get !env h with
+            | Fun f when arity_of f = Some (List.length c.U.c_args) ->
+              U.Call { c with c_callee = U.Direct f }
+            | _ -> i)
+          | _ -> i
+        in
+        if i' <> i then changed := true;
+        env := transfer !env i;  (* transfer of the original is identical *)
+        i'
+      in
+      let instrs = List.map rewrite_instr b.U.b_instrs in
+      let term =
+        match b.U.b_term with
+        | U.Branch (c, l1, l2) -> (
+          match get !env c with
+          | Const k ->
+            changed := true;
+            U.Jump (if Int64.equal k 0L then l2 else l1)
+          | _ -> b.U.b_term)
+        | t -> t
+      in
+      { b with U.b_instrs = instrs; U.b_term = term }
+  in
+  let blocks = List.map rewrite_block r.U.r_blocks in
+  ({ r with U.r_blocks = blocks }, !changed)

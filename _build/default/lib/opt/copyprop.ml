@@ -1,0 +1,42 @@
+(** Block-local copy propagation.
+
+    Within a basic block, a [Move (d, s)] makes [d] an alias of [s]
+    until either is redefined; subsequent uses of [d] are rewritten to
+    the root of the copy chain.  Runs after inlining (which introduces
+    parameter-binding moves) and before CSE/DCE, which then erase the
+    now-dead moves. *)
+
+module U = Ucode.Types
+
+let run (r : U.routine) : U.routine * bool =
+  let changed = ref false in
+  let rewrite_block (b : U.block) =
+    (* copy.(d) = Some s: d currently holds the same value as s. *)
+    let copies = Hashtbl.create 16 in
+    let resolve x =
+      match Hashtbl.find_opt copies x with Some root -> root | None -> x
+    in
+    let invalidate d =
+      Hashtbl.remove copies d;
+      (* Any alias whose root is d is now stale. *)
+      let stale =
+        Hashtbl.fold (fun k v acc -> if v = d then k :: acc else acc) copies []
+      in
+      List.iter (Hashtbl.remove copies) stale
+    in
+    let rewrite_instr i =
+      let i' = U.map_instr_uses resolve i in
+      if i' <> i then changed := true;
+      (match U.instr_def i' with Some d -> invalidate d | None -> ());
+      (match i' with
+      | U.Move (d, s) when d <> s -> Hashtbl.replace copies d (resolve s)
+      | _ -> ());
+      i'
+    in
+    let instrs = List.map rewrite_instr b.U.b_instrs in
+    let term = U.map_term_regs resolve b.U.b_term in
+    if term <> b.U.b_term then changed := true;
+    { b with U.b_instrs = instrs; U.b_term = term }
+  in
+  let blocks = List.map rewrite_block r.U.r_blocks in
+  ({ r with U.r_blocks = blocks }, !changed)

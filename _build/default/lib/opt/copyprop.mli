@@ -1,0 +1,5 @@
+(** Block-local copy propagation: within a block, uses of a moved
+    register are rewritten to the root of its copy chain until either
+    end is redefined. *)
+
+val run : Ucode.Types.routine -> Ucode.Types.routine * bool

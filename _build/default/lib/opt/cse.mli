@@ -1,0 +1,5 @@
+(** Block-local common-subexpression elimination (local value
+    numbering).  Pure computations and loads are hashed; loads die at
+    stores and calls; recomputations become moves. *)
+
+val run : Ucode.Types.routine -> Ucode.Types.routine * bool

@@ -1,0 +1,69 @@
+(** Dead-code elimination.
+
+    Uses liveness: a pure instruction whose destination is dead after
+    it is removed.  A call whose result is dead keeps running for its
+    side effects but drops its destination; a call to a routine the
+    interprocedural analysis proved side-effect-free *and terminating*
+    is removed outright when its result is dead — this is exactly how
+    the paper's HLO erased the no-op curses calls in [072.sc] before
+    inlining even started. *)
+
+module U = Ucode.Types
+
+(** [run ~removable r] removes dead code from [r].  [removable name]
+    must answer whether a call to [name] can be deleted when its result
+    is unused (side-effect-free and guaranteed to terminate). *)
+let run ?(removable = fun _ -> false) (r : U.routine) : U.routine * bool =
+  let changed = ref false in
+  let pass (r : U.routine) =
+    let live = Liveness.compute r in
+    let rewrite_block (b : U.block) =
+      let outs = Liveness.per_instr_live_out live b in
+      let instrs =
+        List.map2
+          (fun i live_after ->
+            let dead d = not (U.Int_set.mem d live_after) in
+            match i with
+            | U.Const (d, _) | U.Faddr (d, _) | U.Gaddr (d, _)
+            | U.Unop (d, _, _) | U.Binop (d, _, _, _) | U.Load (d, _) ->
+              if dead d then begin
+                changed := true;
+                None
+              end
+              else Some i
+            | U.Move (d, s) ->
+              if dead d || d = s then begin
+                changed := true;
+                None
+              end
+              else Some i
+            | U.Store _ -> Some i
+            | U.Call ({ c_dst = Some d; c_callee; _ } as c) when dead d ->
+              let deletable =
+                match c_callee with
+                | U.Direct n -> removable n
+                | U.Indirect _ -> false
+              in
+              changed := true;
+              if deletable then None else Some (U.Call { c with c_dst = None })
+            | U.Call { c_dst = None; c_callee = U.Direct n; _ }
+              when removable n ->
+              changed := true;
+              None
+            | U.Call _ -> Some i)
+          b.U.b_instrs outs
+      in
+      { b with U.b_instrs = List.filter_map Fun.id instrs }
+    in
+    { r with U.r_blocks = List.map rewrite_block r.U.r_blocks }
+  in
+  (* Removing an instruction can kill its operands' last uses; iterate
+     to a fixpoint (bounded — each round removes at least one instr). *)
+  let rec loop r n =
+    if n = 0 then r
+    else
+      let r' = pass r in
+      if r' = r then r else loop r' (n - 1)
+  in
+  let result = loop r 50 in
+  (result, !changed)

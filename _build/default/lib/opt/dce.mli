@@ -1,0 +1,9 @@
+(** Dead-code elimination.  A pure instruction whose destination is
+    dead is removed; a call with a dead result keeps running for its
+    effects but drops the destination — unless [removable] proves it
+    deletable outright (see {!Ipa}). *)
+
+val run :
+  ?removable:(string -> bool) ->
+  Ucode.Types.routine ->
+  Ucode.Types.routine * bool

@@ -1,0 +1,16 @@
+(** Loop-invariant code motion: pure non-trapping computations with
+    loop-invariant operands are hoisted to a fresh preheader — chiefly
+    the [Gaddr]/[Const] address computations lowering re-emits on every
+    iteration of loops over globals.  Non-SSA safety conditions are
+    documented in the implementation. *)
+
+type loop = { header : Ucode.Types.label; body : Ucode.Types.Int_set.t }
+
+(** Dominator sets per block. *)
+val dominators :
+  Ucode.Types.routine -> Ucode.Types.Int_set.t Ucode.Types.Int_map.t
+
+(** Natural loops, bodies merged per header, innermost first. *)
+val natural_loops : Ucode.Types.routine -> loop list
+
+val run : Ucode.Types.routine -> Ucode.Types.routine * bool

@@ -1,0 +1,85 @@
+(** The optimization pipeline.
+
+    This is the stand-in for the paper's "aggressive, state-of-the-art
+    global optimizer": the set of scalar transformations the back end
+    applies to each routine.  HLO runs it (a) once after input to
+    shrink the IR, (b) on every routine it inlines into or clones (the
+    "optimize and recalibrate" steps of Figures 3 and 4), and (c) the
+    back end conceptually runs it again before code generation.
+
+    Each pass returns a changed flag; the pipeline iterates until quiet
+    or until the round bound is hit. *)
+
+module U = Ucode.Types
+
+type stats = {
+  mutable rounds : int;
+  mutable passes_changed : (string * int) list;
+}
+
+let note stats name =
+  stats.passes_changed <-
+    (match List.assoc_opt name stats.passes_changed with
+    | Some n ->
+      (name, n + 1) :: List.remove_assoc name stats.passes_changed
+    | None -> (name, 1) :: stats.passes_changed)
+
+(** Optimize one routine.  [removable] enables deletion of unused calls
+    proven harmless by {!Ipa}; [arity_of] enables devirtualization of
+    indirect calls whose target and arity are provably known. *)
+let optimize_routine ?(removable = fun _ -> false)
+    ?(arity_of = fun (_ : string) -> (None : int option)) ?(max_rounds = 4)
+    ?stats (r : U.routine) : U.routine =
+  let stats = Option.value ~default:{ rounds = 0; passes_changed = [] } stats in
+  let run_pass name f r =
+    let r', changed = f r in
+    if changed then note stats name;
+    r'
+  in
+  let round r =
+    r
+    |> run_pass "simplify" Simplify.run
+    |> run_pass "constprop" (Constprop.run ~arity_of)
+    |> run_pass "copyprop" Copyprop.run
+    |> run_pass "licm" Licm.run
+    |> run_pass "strength" Strength.run
+    |> run_pass "cse" Cse.run
+    |> run_pass "dce" (Dce.run ~removable)
+    |> run_pass "simplify" Simplify.run
+  in
+  let rec loop r n =
+    if n = 0 then r
+    else begin
+      stats.rounds <- stats.rounds + 1;
+      let r' = round r in
+      if r' = r then r else loop r' (n - 1)
+    end
+  in
+  loop r max_rounds
+
+(** Optimize every routine of a program.  Computes the deletable-call
+    set once (the "limited interprocedural analysis" of the paper) and
+    feeds it to per-routine DCE. *)
+let optimize_program ?(max_rounds = 4) (p : U.program) : U.program =
+  let deletable = Ipa.deletable_routines p in
+  let removable n = U.String_set.mem n deletable in
+  let arity_of n = U.arity_in_program p n in
+  { p with
+    U.p_routines =
+      List.map (optimize_routine ~removable ~arity_of ~max_rounds) p.U.p_routines }
+
+(** Optimize only the named routines (used by HLO after a pass touched
+    a subset of the program). *)
+let optimize_selected ?(max_rounds = 4) (p : U.program) names : U.program =
+  let deletable = Ipa.deletable_routines p in
+  let removable n = U.String_set.mem n deletable in
+  let arity_of n = U.arity_in_program p n in
+  let target = U.String_set.of_list names in
+  { p with
+    U.p_routines =
+      List.map
+        (fun (r : U.routine) ->
+          if U.String_set.mem r.U.r_name target then
+            optimize_routine ~removable ~arity_of ~max_rounds r
+          else r)
+        p.U.p_routines }

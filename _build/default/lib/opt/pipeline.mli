@@ -1,0 +1,32 @@
+(** The scalar optimization pipeline — the stand-in for the paper's
+    "aggressive, state-of-the-art global optimizer".
+
+    One round is: CFG simplify, constant propagation (with
+    devirtualization), copy propagation, loop-invariant code motion,
+    strength reduction, local CSE, DCE, simplify again; rounds repeat
+    to quiescence (bounded). *)
+
+type stats = {
+  mutable rounds : int;
+  mutable passes_changed : (string * int) list;
+}
+
+(** Optimize one routine.  [removable name] permits deleting unused
+    calls to [name] (see {!Ipa}); [arity_of] enables devirtualization
+    of indirect calls whose target and arity are provably known. *)
+val optimize_routine :
+  ?removable:(string -> bool) ->
+  ?arity_of:(string -> int option) ->
+  ?max_rounds:int ->
+  ?stats:stats ->
+  Ucode.Types.routine ->
+  Ucode.Types.routine
+
+(** Optimize every routine; computes the {!Ipa} deletable set and the
+    arity environment from the program itself. *)
+val optimize_program :
+  ?max_rounds:int -> Ucode.Types.program -> Ucode.Types.program
+
+(** Optimize only the named routines (used by HLO between passes). *)
+val optimize_selected :
+  ?max_rounds:int -> Ucode.Types.program -> string list -> Ucode.Types.program

@@ -1,0 +1,6 @@
+(** Control-flow-graph simplification, iterated to a fixpoint:
+    same-target branches become jumps, unreachable blocks are deleted,
+    jumps thread through empty blocks, and single-predecessor jump
+    chains merge (bigger blocks give the local passes more scope). *)
+
+val run : Ucode.Types.routine -> Ucode.Types.routine * bool

@@ -1,0 +1,9 @@
+(** Strength reduction: multiplies by power-of-two constants become
+    shifts (exact under two's-complement wraparound).  The machine
+    retires shifts in one cycle but charges multiplier latency, so the
+    rewrite is directly observable in cycles. *)
+
+(** [log2_of_power k] is [Some n] when [k = 2^n], [n >= 0]. *)
+val log2_of_power : int64 -> int option
+
+val run : Ucode.Types.routine -> Ucode.Types.routine * bool

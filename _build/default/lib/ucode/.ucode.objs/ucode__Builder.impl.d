@@ -1,0 +1,1 @@
+lib/ucode/builder.ml: Fun List Printf Types

@@ -1,0 +1,1 @@
+lib/ucode/builder.mli: Types

@@ -1,0 +1,1 @@
+lib/ucode/callgraph.ml: Hashtbl List Option String_map Types

@@ -1,0 +1,1 @@
+lib/ucode/callgraph.mli: Types

@@ -1,0 +1,1 @@
+lib/ucode/linker.ml: Hashtbl List Printf Types Validate

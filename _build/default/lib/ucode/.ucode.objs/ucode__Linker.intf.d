@@ -1,0 +1,1 @@
+lib/ucode/linker.mli: Types

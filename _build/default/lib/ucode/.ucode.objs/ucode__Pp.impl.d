@@ -1,0 +1,1 @@
+lib/ucode/pp.ml: Fmt List String Types

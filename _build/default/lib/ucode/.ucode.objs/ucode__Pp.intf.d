@@ -1,0 +1,1 @@
+lib/ucode/pp.mli: Format Types

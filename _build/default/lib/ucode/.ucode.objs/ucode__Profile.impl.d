@@ -1,0 +1,1 @@
+lib/ucode/profile.ml: Fmt Int_map List Option String_map Types

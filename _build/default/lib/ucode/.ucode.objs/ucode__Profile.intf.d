@@ -1,0 +1,1 @@
+lib/ucode/profile.mli: Format Types

@@ -1,0 +1,1 @@
+lib/ucode/rename.mli: Types

@@ -1,0 +1,1 @@
+lib/ucode/size.ml: List Types

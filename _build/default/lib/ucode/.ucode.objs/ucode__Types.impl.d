@@ -1,0 +1,1 @@
+lib/ucode/types.ml: Int List Map Option Printf Set String

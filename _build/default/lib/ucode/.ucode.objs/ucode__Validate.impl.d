@@ -1,0 +1,1 @@
+lib/ucode/validate.ml: Fmt Hashtbl List Option Printf String Types

@@ -1,0 +1,1 @@
+lib/ucode/validate.mli: Format Types

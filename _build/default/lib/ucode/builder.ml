@@ -1,0 +1,128 @@
+(** Imperative construction of routines.
+
+    The front end's lowering pass and many tests need to emit code into
+    a routine under construction: allocate fresh registers and blocks,
+    append instructions to the "current" block, and seal blocks with a
+    terminator.  This module provides that, producing an immutable
+    {!Types.routine} at the end. *)
+
+open Types
+
+type t = {
+  name : string;
+  module_name : string;
+  params : reg list;
+  attrs : attrs;
+  linkage : linkage;
+  mutable next_reg : int;
+  mutable next_label : int;
+  (* Blocks are finished (sealed) out of order; [order] remembers
+     creation order so the entry block stays first. *)
+  mutable sealed : (label * block) list;
+  mutable current : label option;
+  mutable current_instrs : instr list;  (* reversed *)
+  fresh_site : unit -> site;
+}
+
+let create ~name ~module_name ?(attrs = default_attrs) ?(linkage = Exported)
+    ~nparams ~fresh_site () =
+  let params = List.init nparams Fun.id in
+  let b =
+    { name; module_name; params; attrs; linkage; next_reg = nparams;
+      next_label = 0; sealed = []; current = None; current_instrs = [];
+      fresh_site }
+  in
+  (b, params)
+
+let fresh_reg b =
+  let r = b.next_reg in
+  b.next_reg <- r + 1;
+  r
+
+let fresh_label b =
+  let l = b.next_label in
+  b.next_label <- l + 1;
+  l
+
+(** Begin emitting into block [l].  Any unfinished block must have been
+    sealed first. *)
+let start_block b l =
+  (match b.current with
+  | Some open_block ->
+    invalid_arg
+      (Printf.sprintf "Builder.start_block: block %d still open" open_block)
+  | None -> ());
+  if List.mem_assoc l b.sealed then
+    invalid_arg (Printf.sprintf "Builder.start_block: block %d already sealed" l);
+  b.current <- Some l;
+  b.current_instrs <- []
+
+let emit b i =
+  match b.current with
+  | None -> invalid_arg "Builder.emit: no open block"
+  | Some _ -> b.current_instrs <- i :: b.current_instrs
+
+let seal b term =
+  match b.current with
+  | None -> invalid_arg "Builder.seal: no open block"
+  | Some l ->
+    let block = { b_id = l; b_instrs = List.rev b.current_instrs; b_term = term } in
+    b.sealed <- (l, block) :: b.sealed;
+    b.current <- None;
+    b.current_instrs <- []
+
+let in_block b = b.current <> None
+
+(* Convenience emitters returning the destination register. *)
+
+let const b k =
+  let d = fresh_reg b in
+  emit b (Const (d, k));
+  d
+
+let binop b op a1 a2 =
+  let d = fresh_reg b in
+  emit b (Binop (d, op, a1, a2));
+  d
+
+let unop b op a =
+  let d = fresh_reg b in
+  emit b (Unop (d, op, a));
+  d
+
+let load b addr =
+  let d = fresh_reg b in
+  emit b (Load (d, addr));
+  d
+
+let call b ~dst callee args =
+  emit b (Call { c_dst = dst; c_callee = callee; c_args = args;
+                 c_site = b.fresh_site () })
+
+let finish b =
+  (match b.current with
+  | Some l ->
+    invalid_arg (Printf.sprintf "Builder.finish: block %d still open" l)
+  | None -> ());
+  if b.sealed = [] then invalid_arg "Builder.finish: routine has no blocks";
+  (* Entry is block 0 by convention; emit blocks in label order. *)
+  let blocks =
+    List.sort (fun (l1, _) (l2, _) -> compare l1 l2) (List.rev b.sealed)
+    |> List.map snd
+  in
+  (match blocks with
+  | { b_id = 0; _ } :: _ -> ()
+  | _ -> invalid_arg "Builder.finish: entry block 0 missing");
+  { r_name = b.name; r_module = b.module_name; r_params = b.params;
+    r_blocks = blocks; r_next_reg = b.next_reg; r_next_label = b.next_label;
+    r_attrs = b.attrs; r_linkage = b.linkage; r_origin = From_source }
+
+(** A program-wide fresh-site allocator to thread through builders. *)
+let site_counter () =
+  let n = ref 0 in
+  let fresh () =
+    let s = !n in
+    incr n;
+    s
+  in
+  (fresh, fun () -> !n)

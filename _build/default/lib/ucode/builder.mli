@@ -1,0 +1,57 @@
+(** Imperative construction of routines.
+
+    Used by the front end's lowering pass and by tests to emit code:
+    allocate fresh registers and blocks, append instructions to the
+    current block, seal blocks with terminators, and finally obtain an
+    immutable {!Types.routine}.
+
+    Protocol: {!create}, then repeat {!start_block} / {!emit} /
+    {!seal}, then {!finish}.  Block 0 must exist and is the entry. *)
+
+type t
+
+(** [create ~name ~module_name ~nparams ~fresh_site ()] returns a
+    builder and the parameter registers (always [0 .. nparams-1]).
+    [fresh_site] allocates program-unique call-site ids. *)
+val create :
+  name:string ->
+  module_name:string ->
+  ?attrs:Types.attrs ->
+  ?linkage:Types.linkage ->
+  nparams:int ->
+  fresh_site:(unit -> Types.site) ->
+  unit ->
+  t * Types.reg list
+
+val fresh_reg : t -> Types.reg
+val fresh_label : t -> Types.label
+
+(** Begin emitting into a new block.  Raises [Invalid_argument] if a
+    block is still open or the label was already sealed. *)
+val start_block : t -> Types.label -> unit
+
+(** Append an instruction to the open block. *)
+val emit : t -> Types.instr -> unit
+
+(** Close the open block with a terminator. *)
+val seal : t -> Types.terminator -> unit
+
+(** Is a block currently open? *)
+val in_block : t -> bool
+
+(** Convenience emitters returning the destination register. *)
+
+val const : t -> int64 -> Types.reg
+val binop : t -> Types.binop -> Types.reg -> Types.reg -> Types.reg
+val unop : t -> Types.unop -> Types.reg -> Types.reg
+val load : t -> Types.reg -> Types.reg
+
+val call :
+  t -> dst:Types.reg option -> Types.callee -> Types.reg list -> unit
+
+(** Produce the routine.  Raises [Invalid_argument] if a block is still
+    open, no blocks exist, or block 0 (the entry) is missing. *)
+val finish : t -> Types.routine
+
+(** A fresh program-wide site allocator: [(fresh, count)]. *)
+val site_counter : unit -> (unit -> Types.site) * (unit -> int)

@@ -1,0 +1,151 @@
+(** Linking separately produced modules into one program.
+
+    This models the paper's *isom* path: front ends emit unoptimized
+    intermediate code per module; at link time the whole collection is
+    handed to HLO at once, which is what makes cross-module inlining
+    and cloning possible.
+
+    The linker (1) mangles module-local ([static]) routine and global
+    names to [module$name] so they cannot collide, (2) resolves every
+    direct reference — a name resolves to the same module's definition
+    first, then to an exported definition of any module, then to a
+    builtin — and (3) renumbers call sites so they are unique across
+    the program. *)
+
+open Types
+
+type module_ir = {
+  m_name : string;
+  m_routines : routine list;
+  m_globals : global list;
+}
+
+exception Link_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+let mangle module_name name = module_name ^ "$" ^ name
+
+(** [link ~main modules] produces a whole program.  [main] is the
+    source-level name of the entry routine, which must be exported. *)
+let link ?(main = "main") (modules : module_ir list) : program =
+  (* Detect duplicate module names early. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem seen m.m_name then fail "duplicate module name %s" m.m_name;
+      Hashtbl.replace seen m.m_name ())
+    modules;
+  (* Pass 1: global rename maps.  [exported_*] map a source name to its
+     final name; [local_*] are per-module. *)
+  let exported_routines = Hashtbl.create 64 in
+  let exported_globals = Hashtbl.create 64 in
+  let local_routines = Hashtbl.create 64 in (* (module, name) -> final *)
+  let local_globals = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (r : routine) ->
+          let final =
+            match r.r_linkage with
+            | Exported ->
+              if Hashtbl.mem exported_routines r.r_name then
+                fail "routine %s exported by two modules" r.r_name;
+              Hashtbl.replace exported_routines r.r_name r.r_name;
+              r.r_name
+            | Module_local -> mangle m.m_name r.r_name
+          in
+          if Hashtbl.mem local_routines (m.m_name, r.r_name) then
+            fail "routine %s defined twice in module %s" r.r_name m.m_name;
+          Hashtbl.replace local_routines (m.m_name, r.r_name) final)
+        m.m_routines;
+      List.iter
+        (fun (g : global) ->
+          let final =
+            match g.g_linkage with
+            | Exported ->
+              if Hashtbl.mem exported_globals g.g_name then
+                fail "global %s exported by two modules" g.g_name;
+              Hashtbl.replace exported_globals g.g_name g.g_name;
+              g.g_name
+            | Module_local -> mangle m.m_name g.g_name
+          in
+          if Hashtbl.mem local_globals (m.m_name, g.g_name) then
+            fail "global %s defined twice in module %s" g.g_name m.m_name;
+          Hashtbl.replace local_globals (m.m_name, g.g_name) final)
+        m.m_globals)
+    modules;
+  (* Pass 2: rewrite bodies. *)
+  let next_site = ref 0 in
+  let fresh_site () =
+    let s = !next_site in
+    incr next_site;
+    s
+  in
+  let resolve_routine m name =
+    match Hashtbl.find_opt local_routines (m, name) with
+    | Some final -> final
+    | None -> (
+      match Hashtbl.find_opt exported_routines name with
+      | Some final -> final
+      | None ->
+        if is_builtin name then name
+        else fail "module %s: reference to undefined routine %s" m name)
+  in
+  let resolve_global m name =
+    match Hashtbl.find_opt local_globals (m, name) with
+    | Some final -> final
+    | None -> (
+      match Hashtbl.find_opt exported_globals name with
+      | Some final -> final
+      | None -> fail "module %s: reference to undefined global %s" m name)
+  in
+  let rewrite_instr m = function
+    | Call c ->
+      let c_callee =
+        match c.c_callee with
+        | Direct n -> Direct (resolve_routine m n)
+        | Indirect r -> Indirect r
+      in
+      Call { c with c_callee; c_site = fresh_site () }
+    | Faddr (d, n) -> Faddr (d, resolve_routine m n)
+    | Gaddr (d, n) -> Gaddr (d, resolve_global m n)
+    | other -> other
+  in
+  let rewrite_routine m (r : routine) =
+    let blocks =
+      List.map
+        (fun b -> { b with b_instrs = List.map (rewrite_instr m) b.b_instrs })
+        r.r_blocks
+    in
+    { r with r_name = Hashtbl.find local_routines (m, r.r_name);
+             r_blocks = blocks }
+  in
+  let routines =
+    List.concat_map
+      (fun m -> List.map (rewrite_routine m.m_name) m.m_routines)
+      modules
+  in
+  let globals =
+    List.concat_map
+      (fun m ->
+        List.map
+          (fun (g : global) ->
+            { g with g_name = Hashtbl.find local_globals (m.m_name, g.g_name) })
+          m.m_globals)
+      modules
+  in
+  let main_final =
+    match Hashtbl.find_opt exported_routines main with
+    | Some f -> f
+    | None -> fail "no exported routine named %s" main
+  in
+  let program =
+    { p_routines = routines; p_globals = globals; p_main = main_final;
+      p_next_site = !next_site }
+  in
+  (match Validate.check_program program with
+  | [] -> ()
+  | errors -> fail "linked program is malformed:\n%s"
+                (Validate.errors_to_string errors));
+  program

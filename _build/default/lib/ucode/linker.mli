@@ -1,0 +1,23 @@
+(** Linking separately produced modules into one program — the paper's
+    *isom* path that makes cross-module optimization possible.
+
+    Mangles module-local ([static]) names to [module$name], resolves
+    every direct reference (same module first, then exports, then
+    builtins), and renumbers call sites to be program-unique. *)
+
+type module_ir = {
+  m_name : string;
+  m_routines : Types.routine list;
+  m_globals : Types.global list;
+}
+
+exception Link_error of string
+
+(** [link ~main modules] produces a validated whole program.  [main]
+    (default ["main"]) must be exported by some module.  Raises
+    {!Link_error} on duplicate exports, duplicate in-module
+    definitions, unresolved references or a missing entry point. *)
+val link : ?main:string -> module_ir list -> Types.program
+
+(** [mangle m n] is the final name of module [m]'s static [n]. *)
+val mangle : string -> string -> string

@@ -1,0 +1,61 @@
+(** Copying routine bodies with consistent renaming.
+
+    Both the cloner and the inliner duplicate IR: registers and labels
+    must be shifted into the target routine's namespace, and every call
+    instruction in the copy must receive a fresh program-unique site id
+    (profile data is keyed by sites).  The [site_map] returned lets the
+    caller transfer scaled profile counts onto the copy. *)
+
+open Types
+
+type copy = {
+  cp_blocks : block list;
+  cp_params : reg list;       (** renamed formal parameters *)
+  cp_entry : label;           (** renamed entry label *)
+  cp_next_reg : int;          (** one past the highest register used *)
+  cp_next_label : int;
+  cp_site_map : (site * site) list;  (** original site -> copied site *)
+  cp_block_map : (label * label) list;(** original label -> copied label *)
+}
+
+(** [copy_body r ~reg_base ~label_base ~fresh_site] returns a copy of
+    [r]'s body with registers shifted by [reg_base], labels shifted by
+    [label_base] and call sites renumbered via [fresh_site]. *)
+let copy_body (r : routine) ~reg_base ~label_base ~fresh_site =
+  let rename_reg x = x + reg_base in
+  let rename_label l = l + label_base in
+  let site_map = ref [] in
+  let copy_instr i =
+    let i = map_instr_regs rename_reg i in
+    match i with
+    | Call c ->
+      let s = fresh_site () in
+      site_map := (c.c_site, s) :: !site_map;
+      (* [c.c_site] here is already the original site: register renaming
+         does not touch sites. *)
+      Call { c with c_site = s }
+    | other -> other
+  in
+  let copy_block b =
+    { b_id = rename_label b.b_id;
+      b_instrs = List.map copy_instr b.b_instrs;
+      b_term = map_term_labels rename_label (map_term_regs rename_reg b.b_term) }
+  in
+  let blocks = List.map copy_block r.r_blocks in
+  { cp_blocks = blocks;
+    cp_params = List.map rename_reg r.r_params;
+    cp_entry = rename_label (entry_block r).b_id;
+    cp_next_reg = r.r_next_reg + reg_base;
+    cp_next_label = r.r_next_label + label_base;
+    cp_site_map = List.rev !site_map;
+    cp_block_map = List.map (fun b -> (b.b_id, rename_label b.b_id)) r.r_blocks }
+
+(** Fresh full copy of a routine under a new name (used by the cloner).
+    Registers and labels keep their values; only sites are renewed. *)
+let copy_routine (r : routine) ~new_name ~fresh_site =
+  let copy = copy_body r ~reg_base:0 ~label_base:0 ~fresh_site in
+  ( { r with r_name = new_name; r_blocks = copy.cp_blocks;
+      r_origin = Clone_of (match r.r_origin with
+                           | Clone_of orig -> orig
+                           | From_source -> r.r_name) },
+    copy.cp_site_map )

@@ -1,0 +1,38 @@
+(** Copying routine bodies with consistent renaming — the machinery
+    under both the cloner and the inliner.
+
+    Registers and labels are shifted into the target namespace; every
+    copied call instruction receives a fresh program-unique site id
+    (profile data is keyed by sites).  The returned maps let callers
+    transfer scaled profile counts onto the copy. *)
+
+type copy = {
+  cp_blocks : Types.block list;
+  cp_params : Types.reg list;  (** renamed formal parameters *)
+  cp_entry : Types.label;      (** renamed entry label *)
+  cp_next_reg : int;           (** one past the highest register used *)
+  cp_next_label : int;
+  cp_site_map : (Types.site * Types.site) list;
+      (** original site -> copied site *)
+  cp_block_map : (Types.label * Types.label) list;
+      (** original label -> copied label *)
+}
+
+(** [copy_body r ~reg_base ~label_base ~fresh_site] copies [r]'s body
+    with registers shifted by [reg_base], labels by [label_base], and
+    call sites renumbered via [fresh_site]. *)
+val copy_body :
+  Types.routine ->
+  reg_base:int ->
+  label_base:int ->
+  fresh_site:(unit -> Types.site) ->
+  copy
+
+(** Full copy of a routine under a new name (cloning).  Registers and
+    labels keep their values; only sites are renewed.  The copy's
+    origin records the transitive original. *)
+val copy_routine :
+  Types.routine ->
+  new_name:string ->
+  fresh_site:(unit -> Types.site) ->
+  Types.routine * (Types.site * Types.site) list

@@ -1,0 +1,31 @@
+(** The compile-time cost model.
+
+    The paper models back-end compile time as quadratic in routine size
+    (the HP-UX optimizer "contains several algorithms that are quadratic
+    in the size of the routine being optimized"), so program cost is
+    [Σ size(R)²] and the inliner's budget is expressed as a percentage
+    increase over that sum.  We use the same model; a cost unit is
+    therefore (instructions)². *)
+
+open Types
+
+(** Number of instructions in a routine; terminators count 1 each so an
+    empty block still has weight. *)
+let routine_size (r : routine) =
+  List.fold_left (fun acc b -> acc + List.length b.b_instrs + 1) 0 r.r_blocks
+
+let routine_cost r =
+  let s = routine_size r in
+  float_of_int (s * s)
+
+let program_cost (p : program) =
+  List.fold_left (fun acc r -> acc +. routine_cost r) 0.0 p.p_routines
+
+(** Cost of a routine of [n] instructions, without materializing it. *)
+let cost_of_size n = float_of_int (n * n)
+
+(** Static counts used in reports. *)
+let program_size (p : program) =
+  List.fold_left (fun acc r -> acc + routine_size r) 0 p.p_routines
+
+let block_count (r : routine) = List.length r.r_blocks

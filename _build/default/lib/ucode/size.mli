@@ -1,0 +1,20 @@
+(** The compile-time cost model: program cost is [Σ size(R)²], after
+    the paper's observation that the HP-UX back end contains algorithms
+    quadratic in routine size.  A cost unit is (instructions)². *)
+
+(** Number of instructions in a routine (terminators count 1 each). *)
+val routine_size : Types.routine -> int
+
+(** [float_of_int (routine_size r) ** 2]. *)
+val routine_cost : Types.routine -> float
+
+(** Sum of {!routine_cost} over the program. *)
+val program_cost : Types.program -> float
+
+(** Cost of a hypothetical routine of [n] instructions. *)
+val cost_of_size : int -> float
+
+(** Total instruction count of the program. *)
+val program_size : Types.program -> int
+
+val block_count : Types.routine -> int

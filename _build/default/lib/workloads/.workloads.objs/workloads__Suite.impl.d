@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: List Minic Printf Ucode Wl_compress Wl_eqntott Wl_espresso Wl_gcc Wl_go Wl_ijpeg Wl_li Wl_m88ksim Wl_perl Wl_sc Wl_vortex

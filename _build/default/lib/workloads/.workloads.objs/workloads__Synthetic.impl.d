@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Buffer Int64 List Minic Printf String Ucode

@@ -1,0 +1,74 @@
+(** The benchmark suite: fourteen entries mirroring the SPEC integer
+    programs the paper evaluates (six from SPEC92, eight from SPEC95).
+
+    As in SPEC itself, three programs appear in both suites (gcc, li,
+    compress); the SPEC95 entries run substantially larger inputs.
+    Every entry has a *train* input (used for the instrumented
+    profiling run, as in the paper's methodology) and a *ref* input
+    (used for the timed/simulated runs). *)
+
+type spec_suite = Spec92 | Spec95
+
+let suite_name = function Spec92 -> "SPECint92" | Spec95 -> "SPECint95"
+
+type benchmark = {
+  b_name : string;
+  b_suite : spec_suite;
+  b_sources : (string * string) list;  (** module name, MiniC text *)
+  b_train_size : int;
+  b_ref_size : int;
+}
+
+type input = Train | Ref
+
+let all : benchmark list =
+  [ { b_name = "008.espresso"; b_suite = Spec92; b_sources = Wl_espresso.sources;
+      b_train_size = 24; b_ref_size = 64 };
+    { b_name = "022.li"; b_suite = Spec92; b_sources = Wl_li.sources;
+      b_train_size = 20; b_ref_size = 80 };
+    { b_name = "023.eqntott"; b_suite = Spec92; b_sources = Wl_eqntott.sources;
+      b_train_size = 128; b_ref_size = 512 };
+    { b_name = "026.compress"; b_suite = Spec92; b_sources = Wl_compress.sources;
+      b_train_size = 1024; b_ref_size = 4096 };
+    { b_name = "072.sc"; b_suite = Spec92; b_sources = Wl_sc.sources;
+      b_train_size = 10; b_ref_size = 50 };
+    { b_name = "085.gcc"; b_suite = Spec92; b_sources = Wl_gcc.sources;
+      b_train_size = 30; b_ref_size = 120 };
+    { b_name = "099.go"; b_suite = Spec95; b_sources = Wl_go.sources;
+      b_train_size = 8; b_ref_size = 40 };
+    { b_name = "124.m88ksim"; b_suite = Spec95; b_sources = Wl_m88ksim.sources;
+      b_train_size = 30; b_ref_size = 200 };
+    { b_name = "126.gcc"; b_suite = Spec95; b_sources = Wl_gcc.sources;
+      b_train_size = 40; b_ref_size = 220 };
+    { b_name = "129.compress"; b_suite = Spec95; b_sources = Wl_compress.sources;
+      b_train_size = 2048; b_ref_size = 8192 };
+    { b_name = "130.li"; b_suite = Spec95; b_sources = Wl_li.sources;
+      b_train_size = 30; b_ref_size = 140 };
+    { b_name = "132.ijpeg"; b_suite = Spec95; b_sources = Wl_ijpeg.sources;
+      b_train_size = 40; b_ref_size = 260 };
+    { b_name = "134.perl"; b_suite = Spec95; b_sources = Wl_perl.sources;
+      b_train_size = 60; b_ref_size = 300 };
+    { b_name = "147.vortex"; b_suite = Spec95; b_sources = Wl_vortex.sources;
+      b_train_size = 80; b_ref_size = 400 } ]
+
+let find name =
+  match List.find_opt (fun b -> b.b_name = name) all with
+  | Some b -> b
+  | None -> invalid_arg ("Suite.find: unknown benchmark " ^ name)
+
+let of_suite s = List.filter (fun b -> b.b_suite = s) all
+
+(** Full source list for a benchmark at the given input size,
+    including the generated [config] module that publishes
+    [input_size]. *)
+let sources (b : benchmark) ~(input : input) : Minic.Compile.source list =
+  let size = match input with Train -> b.b_train_size | Ref -> b.b_ref_size in
+  let config = Printf.sprintf "public global input_size = %d;\n" size in
+  Minic.Compile.source ~module_name:"config" config
+  :: List.map
+       (fun (m, text) -> Minic.Compile.source ~module_name:m text)
+       b.b_sources
+
+(** Compile a benchmark to a linked ucode program. *)
+let compile (b : benchmark) ~(input : input) : Ucode.Types.program =
+  fst (Minic.Compile.compile_program (sources b ~input))

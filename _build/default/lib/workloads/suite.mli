@@ -1,0 +1,33 @@
+(** The benchmark suite: fourteen entries mirroring the SPEC integer
+    programs the paper evaluates (six SPEC92-style, eight SPEC95-style;
+    gcc, li and compress appear in both at different input sizes, as in
+    SPEC itself).  Every entry has a *train* input for the instrumented
+    profiling run and a larger *ref* input for the timed runs. *)
+
+type spec_suite = Spec92 | Spec95
+
+val suite_name : spec_suite -> string
+
+type benchmark = {
+  b_name : string;  (** e.g. "022.li" *)
+  b_suite : spec_suite;
+  b_sources : (string * string) list;  (** module name, MiniC text *)
+  b_train_size : int;
+  b_ref_size : int;
+}
+
+type input = Train | Ref
+
+val all : benchmark list
+
+(** Raises [Invalid_argument] on an unknown name. *)
+val find : string -> benchmark
+
+val of_suite : spec_suite -> benchmark list
+
+(** Full source list at the given input size, including the generated
+    [config] module publishing [input_size]. *)
+val sources : benchmark -> input:input -> Minic.Compile.source list
+
+(** Compile and link a benchmark. *)
+val compile : benchmark -> input:input -> Ucode.Types.program

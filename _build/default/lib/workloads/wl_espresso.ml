@@ -1,0 +1,130 @@
+(** mini-espresso: two-level boolean cover manipulation, after
+    008.espresso.
+
+    Cubes over [nbits] inputs are encoded two bits per variable
+    (01 = negated, 10 = positive, 11 = don't care) packed in one word.
+    The kernel is the classic espresso inner loop: pairwise cube
+    intersection/containment tests over a cover, plus a reduction pass
+    that absorbs contained cubes — bit-twiddling helpers called from
+    quadratic loops. *)
+
+let cube = {|
+// Two bits per variable, 24 variables per word.
+func cube_full() { return 0 - 1; }  // all don't-care
+
+func cube_and(a, b) { return a & b; }
+
+// A cube is empty if some variable has both bits zero.
+func cube_empty(c, nvars) {
+  for (var v = 0; v < nvars; v = v + 1) {
+    if (((c >> (v * 2)) & 3) == 0) { return 1; }
+  }
+  return 0;
+}
+
+// Does cube a contain cube b?  (b's bits are a subset of a's.)
+func cube_contains(a, b) { return (a | b) == a; }
+
+// Number of don't-care variables (a crude size measure).
+func cube_dc_count(c, nvars) {
+  var n = 0;
+  for (var v = 0; v < nvars; v = v + 1) {
+    if (((c >> (v * 2)) & 3) == 3) { n = n + 1; }
+  }
+  return n;
+}
+
+// Set variable v of cube c to literal lit (1, 2 or 3).
+func cube_set(c, v, lit) {
+  var cleared = c - (c & (3 << (v * 2)));
+  return cleared | (lit << (v * 2));
+}
+|}
+
+let cover = {|
+global cubes[2048];
+public global ncubes = 0;
+
+func cover_clear() { ncubes = 0; return 0; }
+func cover_get(i) { return cubes[i]; }
+
+func cover_add(c) {
+  if (ncubes >= 2048) { abort(); }
+  cubes[ncubes] = c;
+  ncubes = ncubes + 1;
+  return 0;
+}
+
+// Remove cubes contained in another cube of the cover (absorption).
+func cover_reduce(nvars) {
+  var kept = 0;
+  for (var i = 0; i < ncubes; i = i + 1) {
+    var absorbed = 0;
+    for (var j = 0; j < ncubes; j = j + 1) {
+      if (i != j) {
+        if (cube_contains(cubes[j], cubes[i])) {
+          if (cubes[j] != cubes[i] || j < i) { absorbed = 1; }
+        }
+      }
+    }
+    if (absorbed == 0) {
+      cubes[kept] = cubes[i];
+      kept = kept + 1;
+    }
+  }
+  ncubes = kept;
+  return kept;
+}
+
+// Count pairs with nonempty intersection (the espresso "distance 0"
+// test driving consensus).
+func cover_overlaps(nvars) {
+  var n = 0;
+  for (var i = 0; i < ncubes; i = i + 1) {
+    for (var j = i + 1; j < ncubes; j = j + 1) {
+      var x = cube_and(cubes[i], cubes[j]);
+      if (cube_empty(x, nvars) == 0) { n = n + 1; }
+    }
+  }
+  return n;
+}
+|}
+
+let main = {|
+static func gen_cover(n, nvars, seed) {
+  cover_clear();
+  var x = seed;
+  for (var i = 0; i < n; i = i + 1) {
+    var c = cube_full();
+    for (var v = 0; v < nvars; v = v + 1) {
+      x = (x * 1103515245 + 12345) & 1048575;
+      var lit = x % 4;
+      if (lit == 0) { lit = 3; }
+      c = cube_set(c, v, lit);
+    }
+    cover_add(c);
+  }
+  return 0;
+}
+
+func main() {
+  var nvars = 12;
+  var n = input_size;
+  var total = 0;
+  for (var round = 0; round < 3; round = round + 1) {
+    gen_cover(n, nvars, round * 977 + 13);
+    var kept = cover_reduce(nvars);
+    var overlaps = cover_overlaps(nvars);
+    total = (total * 131 + kept * 7 + overlaps) % 999979;
+    var dc = 0;
+    for (var i = 0; i < ncubes; i = i + 1) {
+      dc = dc + cube_dc_count(cover_get(i), nvars);
+    }
+    total = (total + dc) % 999979;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let sources = [ ("cube", cube); ("cover", cover); ("esmain", main) ]

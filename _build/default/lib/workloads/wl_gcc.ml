@@ -1,0 +1,210 @@
+(** mini-gcc: a toy expression compiler, after 085.gcc / 126.gcc.
+
+    The shape of the real gcc at benchmark scale: scan a token stream,
+    build expression trees in a node pool, run a recursive
+    constant-folding/simplification pass full of shape predicates, and
+    emit linear code by pattern dispatch — lots of branchy tree walking
+    through one-line predicates, exactly the inlining fodder the paper
+    reports for both gcc entries. *)
+
+let scan = {|
+// Token stream generated from a seed: pseudo "programs" of numbers,
+// variables, operators and parens, encoded as (kind, value) pairs.
+global tok_kind[2048];
+global tok_val[2048];
+public global ntoks = 0;
+
+// kinds: 0 num, 1 var, 2 plus, 3 times, 4 lparen, 5 rparen, 6 end
+func tok_push(k, v) {
+  if (ntoks >= 2048) { abort(); }
+  tok_kind[ntoks] = k;
+  tok_val[ntoks] = v;
+  ntoks = ntoks + 1;
+  return 0;
+}
+
+func gen_tokens(seed, n) {
+  ntoks = 0;
+  var x = seed;
+  var depth = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    x = (x * 1103515245 + 12345) & 1048575;
+    var r = x % 8;
+    if (r < 2) { tok_push(0, x % 100); tok_push(2 + (x % 2), 0); }
+    else { if (r < 4) { tok_push(1, x % 8); tok_push(2 + ((x >> 3) % 2), 0); }
+    else { if (r < 5 && depth < 6) { tok_push(4, 0); depth = depth + 1; }
+    else { if (r < 6 && depth > 0) {
+      tok_push(0, x % 50);
+      tok_push(5, 0);
+      depth = depth - 1;
+      tok_push(2, 0);
+    }
+    else { tok_push(0, x % 10); tok_push(2, 0); } } } }
+  }
+  tok_push(0, 1);
+  while (depth > 0) { tok_push(5, 0); depth = depth - 1; }
+  tok_push(6, 0);
+  return ntoks;
+}
+
+func tok_kind_at(i) { return tok_kind[i]; }
+func tok_val_at(i) { return tok_val[i]; }
+|}
+
+let tree = {|
+// Expression nodes: op 0 = num, 1 = var, 2 = plus, 3 = times.
+global node_op[4096];
+global node_a[4096];
+global node_b[4096];
+public global nnodes = 0;
+
+func node_new(op, a, b) {
+  if (nnodes >= 4096) { abort(); }
+  var n = nnodes;
+  nnodes = nnodes + 1;
+  node_op[n] = op;
+  node_a[n] = a;
+  node_b[n] = b;
+  return n;
+}
+
+func op_of(n) { return node_op[n]; }
+func lhs(n) { return node_a[n]; }
+func rhs(n) { return node_b[n]; }
+func is_num(n) { return node_op[n] == 0; }
+func num_val(n) { return node_a[n]; }
+func is_zero(n) { return node_op[n] == 0 && node_a[n] == 0; }
+func is_one(n) { return node_op[n] == 0 && node_a[n] == 1; }
+
+// Recursive-descent parser over the token stream; pos passed in a
+// global cursor.
+global cursor = 0;
+
+func parse_reset() { cursor = 0; return 0; }
+
+func parse_primary() {
+  var k = tok_kind_at(cursor);
+  if (k == 0) { var v = tok_val_at(cursor); cursor = cursor + 1; return node_new(0, v, 0); }
+  if (k == 1) { var s = tok_val_at(cursor); cursor = cursor + 1; return node_new(1, s, 0); }
+  if (k == 4) {
+    cursor = cursor + 1;
+    var e = parse_expr();
+    if (tok_kind_at(cursor) == 5) { cursor = cursor + 1; }
+    return e;
+  }
+  cursor = cursor + 1;
+  return node_new(0, 0, 0);
+}
+
+func parse_term() {
+  var e = parse_primary();
+  while (tok_kind_at(cursor) == 3) {
+    cursor = cursor + 1;
+    var r = parse_primary();
+    e = node_new(3, e, r);
+  }
+  return e;
+}
+
+func parse_expr() {
+  var e = parse_term();
+  while (tok_kind_at(cursor) == 2) {
+    cursor = cursor + 1;
+    var r = parse_term();
+    e = node_new(2, e, r);
+  }
+  return e;
+}
+
+// Constant folding + algebraic simplification.
+func fold(n) {
+  var op = op_of(n);
+  if (op == 0 || op == 1) { return n; }
+  var a = fold(lhs(n));
+  var b = fold(rhs(n));
+  if (is_num(a) && is_num(b)) {
+    if (op == 2) { return node_new(0, (num_val(a) + num_val(b)) % 65536, 0); }
+    return node_new(0, (num_val(a) * num_val(b)) % 65536, 0);
+  }
+  if (op == 2 && is_zero(a)) { return b; }
+  if (op == 2 && is_zero(b)) { return a; }
+  if (op == 3 && is_one(a)) { return b; }
+  if (op == 3 && is_one(b)) { return a; }
+  if (op == 3 && (is_zero(a) || is_zero(b))) { return node_new(0, 0, 0); }
+  return node_new(op, a, b);
+}
+|}
+
+let emit = {|
+// Code emission by pattern dispatch into a buffer of (op, arg) pairs.
+global code_op[8192];
+global code_arg[8192];
+public global ncode = 0;
+
+func emit_insn(op, arg) {
+  if (ncode >= 8192) { abort(); }
+  code_op[ncode] = op;
+  code_arg[ncode] = arg;
+  ncode = ncode + 1;
+  return 0;
+}
+
+// ops: 0 pushi, 1 pushv, 2 add, 3 mul, 4 addi (peephole), 5 muli
+func emit_expr(n) {
+  var op = op_of(n);
+  if (op == 0) { emit_insn(0, num_val(n)); return 1; }
+  if (op == 1) { emit_insn(1, lhs(n)); return 1; }
+  var left = emit_expr(lhs(n));
+  // Peephole: op with constant rhs folds to an immediate form.
+  if (is_num(rhs(n))) {
+    if (op == 2) { emit_insn(4, num_val(rhs(n))); return left + 1; }
+    emit_insn(5, num_val(rhs(n)));
+    return left + 1;
+  }
+  var right = emit_expr(rhs(n));
+  if (op == 2) { emit_insn(2, 0); } else { emit_insn(3, 0); }
+  return left + right + 1;
+}
+
+// Evaluate the emitted code (the "test run" of the compiled program).
+global estack[128];
+
+func exec_code(venv) {
+  var sp = 0;
+  for (var i = 0; i < ncode; i = i + 1) {
+    var op = code_op[i];
+    var a = code_arg[i];
+    if (op == 0) { estack[sp] = a; sp = sp + 1; }
+    if (op == 1) { estack[sp] = (venv >> ((a & 7) * 4)) & 15; sp = sp + 1; }
+    if (op == 2) { sp = sp - 1; estack[sp - 1] = estack[sp - 1] + estack[sp]; }
+    if (op == 3) { sp = sp - 1; estack[sp - 1] = (estack[sp - 1] * estack[sp]) % 65536; }
+    if (op == 4) { estack[sp - 1] = estack[sp - 1] + a; }
+    if (op == 5) { estack[sp - 1] = (estack[sp - 1] * a) % 65536; }
+    if (sp > 120) { return estack[sp - 1]; }
+  }
+  return estack[0];
+}
+|}
+
+let main = {|
+func main() {
+  var programs = input_size;
+  var total = 0;
+  for (var pgm = 0; pgm < programs; pgm = pgm + 1) {
+    nnodes = 0;
+    ncode = 0;
+    gen_tokens(pgm * 7919 + 11, 60);
+    parse_reset();
+    var tree_root = parse_expr();
+    var folded = fold(tree_root);
+    var n = emit_expr(folded);
+    var v1 = exec_code(305419896);
+    var v2 = exec_code(19088743);
+    total = (total * 31 + n + v1 + v2) % 999983;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let sources = [ ("scan", scan); ("tree", tree); ("emit", emit); ("gmain", main) ]

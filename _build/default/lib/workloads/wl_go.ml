@@ -1,0 +1,128 @@
+(** mini-go: board-game position evaluation, after 099.go.
+
+    A 19x19 board is filled deterministically; the kernel alternates
+    recursive flood-fill liberty counting (the classic go-engine inner
+    routine), influence radiation from every stone, and candidate-move
+    scoring — branchy integer code over a 2-D array with deep chains of
+    small helpers, the shape that made 099.go hard on branch
+    predictors. *)
+
+let board = {|
+// 19x19 board with a one-cell border, row stride 21.
+global grid[441];
+global mark[441];
+
+func at(r, c) { return grid[r * 21 + c]; }
+func set_at(r, c, v) { grid[r * 21 + c] = v; return 0; }
+func on_board(r, c) {
+  if (r < 1) { return 0; }
+  if (c < 1) { return 0; }
+  if (r > 19) { return 0; }
+  if (c > 19) { return 0; }
+  return 1;
+}
+
+func clear_marks() {
+  for (var i = 0; i < 441; i = i + 1) { mark[i] = 0; }
+  return 0;
+}
+
+// Recursive liberty count of the group containing (r,c).
+func liberties(r, c, color) {
+  if (on_board(r, c) == 0) { return 0; }
+  var i = r * 21 + c;
+  if (mark[i] != 0) { return 0; }
+  mark[i] = 1;
+  var v = grid[i];
+  if (v == 0) { return 1; }
+  if (v != color) { return 0; }
+  return liberties(r - 1, c, color) + liberties(r + 1, c, color)
+       + liberties(r, c - 1, color) + liberties(r, c + 1, color);
+}
+|}
+
+let tactics = {|
+global influence[441];
+
+func radiate(r, c, color, strength) {
+  for (var dr = 0 - 2; dr <= 2; dr = dr + 1) {
+    for (var dc = 0 - 2; dc <= 2; dc = dc + 1) {
+      var rr = r + dr;
+      var cc = c + dc;
+      if (on_board(rr, cc)) {
+        var d = dr;
+        if (d < 0) { d = 0 - d; }
+        var e = dc;
+        if (e < 0) { e = 0 - e; }
+        var dist = d + e;
+        if (dist <= 2) {
+          var gain = strength / (1 + dist);
+          if (color == 1) { influence[rr * 21 + cc] = influence[rr * 21 + cc] + gain; }
+          else { influence[rr * 21 + cc] = influence[rr * 21 + cc] - gain; }
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+func influence_map() {
+  for (var i = 0; i < 441; i = i + 1) { influence[i] = 0; }
+  for (var r = 1; r <= 19; r = r + 1) {
+    for (var c = 1; c <= 19; c = c + 1) {
+      var v = at(r, c);
+      if (v != 0) { radiate(r, c, v, 8); }
+    }
+  }
+  var score = 0;
+  for (var i = 0; i < 441; i = i + 1) {
+    if (influence[i] > 0) { score = score + 1; }
+    if (influence[i] < 0) { score = score - 1; }
+  }
+  return score;
+}
+
+func score_move(r, c, color) {
+  if (at(r, c) != 0) { return 0 - 1000; }
+  set_at(r, c, color);
+  clear_marks();
+  var libs = liberties(r, c, color);
+  var inf = influence_map();
+  set_at(r, c, 0);
+  if (color == 2) { inf = 0 - inf; }
+  return libs * 4 + inf;
+}
+|}
+
+let main = {|
+func main() {
+  // Deterministic position.
+  var x = 42;
+  for (var r = 1; r <= 19; r = r + 1) {
+    for (var c = 1; c <= 19; c = c + 1) {
+      x = (x * 1103515245 + 12345) & 1048575;
+      var v = x % 5;
+      if (v > 2) { v = 0; }
+      set_at(r, c, v);
+    }
+  }
+  var moves = input_size;
+  var total = 0;
+  var color = 1;
+  for (var m = 0; m < moves; m = m + 1) {
+    x = (x * 1103515245 + 12345) & 1048575;
+    var r = 1 + (x % 19);
+    var c = 1 + ((x >> 5) % 19);
+    var s = score_move(r, c, color);
+    total = (total * 31 + s + 2000) % 999983;
+    if (s > 0) {
+      set_at(r, c, color);
+      color = 3 - color;
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let sources = [ ("board", board); ("tactics", tactics); ("gomain", main) ]

@@ -1,0 +1,113 @@
+(** mini-ijpeg: 8x8 block transform coding, after 132.ijpeg.
+
+    Deterministic "image" blocks go through a separable integer
+    transform (a DCT stand-in built from butterfly helpers), quantize /
+    dequantize with a quality parameter the driver always passes as a
+    literal (a clone candidate that folds the divisor), inverse
+    transform, and an error accumulation — fixed-point inner loops
+    dominated by small arithmetic helpers. *)
+
+let dct = {|
+global blk[64];
+global tmp[64];
+
+func blk_get(i) { return blk[i]; }
+func blk_set(i, v) { blk[i] = v; return 0; }
+
+static func rot(a, b, k) {
+  // Poor man's rotation butterfly with fixed-point scale 256.
+  return (a * (256 - k) + b * k) >> 8;
+}
+
+func fwd_pass(stride, base) {
+  // One 8-point butterfly pass starting at base with the given stride.
+  for (var i = 0; i < 4; i = i + 1) {
+    var lo = base + i * stride;
+    var hi = base + (7 - i) * stride;
+    var s = blk[lo] + blk[hi];
+    var d = blk[lo] - blk[hi];
+    tmp[lo] = rot(s, d, 64 + i * 16);
+    tmp[hi] = rot(d, s, 32 + i * 8);
+  }
+  for (var i = 0; i < 8; i = i + 1) {
+    blk[base + i * stride] = tmp[base + i * stride];
+  }
+  return 0;
+}
+
+func fwd_transform() {
+  for (var r = 0; r < 8; r = r + 1) { fwd_pass(1, r * 8); }
+  for (var c = 0; c < 8; c = c + 1) { fwd_pass(8, c); }
+  return 0;
+}
+|}
+
+let quant = {|
+func quant_step(i, quality) {
+  var base = 1 + (i & 7) + (i >> 3);
+  return 1 + (base * 50) / quality;
+}
+
+func quantize(quality) {
+  var nonzero = 0;
+  for (var i = 0; i < 64; i = i + 1) {
+    var q = quant_step(i, quality);
+    var v = blk_get(i) / q;
+    blk_set(i, v);
+    if (v != 0) { nonzero = nonzero + 1; }
+  }
+  return nonzero;
+}
+
+func dequantize(quality) {
+  for (var i = 0; i < 64; i = i + 1) {
+    blk_set(i, blk_get(i) * quant_step(i, quality));
+  }
+  return 0;
+}
+|}
+
+let main = {|
+static func fill_block(seed) {
+  var x = seed;
+  for (var i = 0; i < 64; i = i + 1) {
+    x = (x * 1103515245 + 12345) & 1048575;
+    blk_set(i, (x % 255) - 128);
+  }
+  return x;
+}
+
+static func block_energy() {
+  var e = 0;
+  for (var i = 0; i < 64; i = i + 1) {
+    var v = blk_get(i);
+    e = e + v * v;
+  }
+  return e % 999979;
+}
+
+func main() {
+  var blocks = input_size;
+  var total = 0;
+  var seed = 99;
+  for (var b = 0; b < blocks; b = b + 1) {
+    seed = fill_block(seed + b);
+    fwd_transform();
+    var nz = quantize(75);
+    total = (total * 31 + nz) % 999979;
+    dequantize(75);
+    fwd_transform();
+    total = (total + block_energy()) % 999979;
+    if (b % 8 == 0) {
+      // Occasional high-quality block (cold path, different literal).
+      var nz2 = quantize(95);
+      dequantize(95);
+      total = (total + nz2) % 999979;
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let sources = [ ("dct", dct); ("quant", quant); ("jmain", main) ]

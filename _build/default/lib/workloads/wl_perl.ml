@@ -1,0 +1,156 @@
+(** mini-perl: a bytecode interpreter with string hashing, after
+    134.perl.
+
+    A tiny stack VM executes a fixed "script" that hashes synthetic
+    strings into an associative array, updates counters and builds a
+    report — the hash/assoc-array inner loops and per-opcode handler
+    calls that dominate the real perl interpreter.  Strings are runs of
+    small integers in a character heap. *)
+
+let hashtab = {|
+// Associative array: open addressing, key = string handle (offset,len)
+// hashed by contents.
+global hkey_off[1024];
+global hkey_len[1024];
+global hval[1024];
+global chars[8192];
+public global nchars = 0;
+
+func str_new() { return nchars; }
+func str_putc(c) {
+  if (nchars >= 8192) { abort(); }
+  chars[nchars] = c & 255;
+  nchars = nchars + 1;
+  return 0;
+}
+func str_at(off, i) { return chars[off + i]; }
+
+func str_hash(off, len) {
+  var h = 5381;
+  for (var i = 0; i < len; i = i + 1) {
+    h = ((h * 33) + chars[off + i]) & 1048575;
+  }
+  return h;
+}
+
+func str_eq(o1, l1, o2, l2) {
+  if (l1 != l2) { return 0; }
+  for (var i = 0; i < l1; i = i + 1) {
+    if (chars[o1 + i] != chars[o2 + i]) { return 0; }
+  }
+  return 1;
+}
+
+func tab_clear() {
+  for (var i = 0; i < 1024; i = i + 1) { hkey_len[i] = 0; }
+  return 0;
+}
+
+// Add delta to the value at key; creates the entry at 0.
+func tab_bump(off, len, delta) {
+  var s = str_hash(off, len) & 1023;
+  var probes = 0;
+  while (probes < 1024) {
+    if (hkey_len[s] == 0) {
+      hkey_off[s] = off;
+      hkey_len[s] = len;
+      hval[s] = delta;
+      return delta;
+    }
+    if (str_eq(hkey_off[s], hkey_len[s], off, len)) {
+      hval[s] = hval[s] + delta;
+      return hval[s];
+    }
+    s = (s + 1) & 1023;
+    probes = probes + 1;
+  }
+  abort();
+  return 0;
+}
+
+func tab_sum() {
+  var t = 0;
+  for (var i = 0; i < 1024; i = i + 1) {
+    if (hkey_len[i] != 0) { t = (t + hval[i] * hkey_len[i]) % 999983; }
+  }
+  return t;
+}
+|}
+
+let vm = {|
+// Stack VM: opcodes 0 push-imm, 1 add, 2 mul, 3 dup, 4 hash-bump,
+// 5 jnz (backwards), 6 drop, 7 halt.
+global stack[64];
+public global sp_ = 0;
+
+func push(v) { stack[sp_] = v; sp_ = sp_ + 1; return 0; }
+func pop() { sp_ = sp_ - 1; return stack[sp_]; }
+
+// One instruction; returns the new vpc.
+func vm_step(op, arg, vpc, str_off, str_len) {
+  if (op == 0) { push(arg); return vpc + 1; }
+  if (op == 1) { var b = pop(); var a = pop(); push(a + b); return vpc + 1; }
+  if (op == 2) { var b2 = pop(); var a2 = pop(); push(a2 * b2); return vpc + 1; }
+  if (op == 3) { var t = pop(); push(t); push(t); return vpc + 1; }
+  if (op == 4) { push(tab_bump(str_off, str_len, pop() & 255)); return vpc + 1; }
+  if (op == 5) { if (pop() != 0) { return vpc - arg; } return vpc + 1; }
+  if (op == 6) { pop(); return vpc + 1; }
+  return 0 - 1;
+}
+|}
+
+let main = {|
+global script_op[32];
+global script_arg[32];
+
+static func assemble() {
+  // Loop: counter times { acc = (acc*3+7); bump hash by acc }.
+  script_op[0] = 0; script_arg[0] = 5;   // push 5 (acc)
+  script_op[1] = 0; script_arg[1] = 3;   // push 3
+  script_op[2] = 2; script_arg[2] = 0;   // mul
+  script_op[3] = 0; script_arg[3] = 7;   // push 7
+  script_op[4] = 1; script_arg[4] = 0;   // add
+  script_op[5] = 3; script_arg[5] = 0;   // dup
+  script_op[6] = 4; script_arg[6] = 0;   // bump
+  script_op[7] = 6; script_arg[7] = 0;   // drop bump result
+  script_op[8] = 3; script_arg[8] = 0;   // dup acc
+  script_op[9] = 0; script_arg[9] = 1048575;
+  script_op[10] = 2; script_arg[10] = 0; // acc * mask (keeps nonzero)
+  script_op[11] = 5; script_arg[11] = 10;// jnz back 10 -> vpc 1
+  script_op[12] = 7; script_arg[12] = 0; // halt
+  return 13;
+}
+
+static func make_word(n, seed) {
+  var off = str_new();
+  for (var i = 0; i < n; i = i + 1) {
+    str_putc(97 + ((seed + i * 7) % 23));
+  }
+  return off;
+}
+
+func main() {
+  assemble();
+  tab_clear();
+  var words = input_size;
+  var total = 0;
+  for (var w = 0; w < words; w = w + 1) {
+    var len = 3 + (w % 6);
+    var off = make_word(len, w * 13 + 1);
+    // Run the script against this word, bounded.
+    var vpc = 0;
+    var fuel = 60;
+    while (fuel > 0 && vpc >= 0 && script_op[vpc] != 7) {
+      vpc = vm_step(script_op[vpc], script_arg[vpc], vpc, off, len);
+      fuel = fuel - 1;
+    }
+    sp_ = 0;
+    total = (total * 31 + tab_sum()) % 999983;
+    if (nchars > 7000) { nchars = 0; tab_clear(); }
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let sources = [ ("hashtab", hashtab); ("vm", vm); ("plmain", main) ]

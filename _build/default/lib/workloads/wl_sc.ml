@@ -1,0 +1,118 @@
+(** mini-sc: a spreadsheet recalculation engine, after 072.sc.
+
+    The benchmark's famous property is its stubbed curses library: the
+    SPEC version of sc links against display routines that do nothing,
+    and HLO's interprocedural analysis discovers they are side-effect
+    free and deletes the calls before inlining spends any budget on
+    them (§3.1 of the paper).  The [curses] module below reproduces
+    that: every recalculation calls [move]/[addch]/[refresh_screen]
+    stubs from the hot loop.
+
+    The sheet itself is a grid of cells holding either constants or
+    formulas (sum / product / relative reference) evaluated to a
+    fixpoint. *)
+
+let curses = {|
+// Stubbed display library, as shipped with the SPEC version of sc:
+// pure, loop-free routines that compute nothing anybody uses.
+func move_cursor(r, c) { return r * 80 + c; }
+func addch(ch) { return ch & 255; }
+func clrtoeol() { return 0; }
+func refresh_screen() { return 0; }
+func standout() { return 1; }
+func standend() { return 0; }
+|}
+
+let sheet = {|
+// Grid: 24 rows x 16 cols. kind 0 = constant, 1 = sum of row above,
+// 2 = product of two neighbours, 3 = reference + delta.
+global kinds[384];
+global vals[384];
+global args[384];
+
+func cell_index(r, c) { return r * 16 + c; }
+func get_val(i) { return vals[i]; }
+func set_val(i, v) { vals[i] = v; }
+func get_kind(i) { return kinds[i]; }
+
+func set_cell(r, c, kind, arg) {
+  var i = cell_index(r, c);
+  kinds[i] = kind;
+  args[i] = arg;
+  if (kind == 0) { vals[i] = arg; }
+  return i;
+}
+
+static func eval_cell(r, c) {
+  var i = cell_index(r, c);
+  var k = kinds[i];
+  if (k == 0) { return vals[i]; }
+  if (k == 1) {
+    var s = 0;
+    for (var cc = 0; cc < 16; cc = cc + 1) {
+      if (r > 0) { s = s + vals[cell_index(r - 1, cc)]; }
+    }
+    return s % 1000003;
+  }
+  if (k == 2) {
+    var a = 1;
+    if (c > 0) { a = vals[i - 1]; }
+    var b = 1;
+    if (c < 15) { b = vals[i + 1]; }
+    return (a * b + args[i]) % 1000003;
+  }
+  var ref = args[i] & 383;
+  return vals[ref] + (args[i] >> 9);
+}
+
+// One full recalculation pass; returns how many cells changed.
+func recalc() {
+  var changed = 0;
+  for (var r = 0; r < 24; r = r + 1) {
+    for (var c = 0; c < 16; c = c + 1) {
+      var i = cell_index(r, c);
+      var v = eval_cell(r, c);
+      // "Display" the cell through the stubbed curses layer.
+      move_cursor(r, c);
+      addch(v & 255);
+      if (v != vals[i]) {
+        vals[i] = v;
+        changed = changed + 1;
+      }
+    }
+    clrtoeol();
+  }
+  refresh_screen();
+  return changed;
+}
+|}
+
+let main = {|
+func main() {
+  // Populate the sheet deterministically.
+  var x = 7;
+  for (var r = 0; r < 24; r = r + 1) {
+    for (var c = 0; c < 16; c = c + 1) {
+      x = (x * 1103515245 + 12345) & 1048575;
+      var kind = x % 4;
+      if (r == 0) { kind = 0; }
+      set_cell(r, c, kind, x % 97);
+    }
+  }
+  var rounds = input_size;
+  var total = 0;
+  for (var round = 0; round < rounds; round = round + 1) {
+    var changed = recalc();
+    total = (total * 31 + changed) % 999983;
+    // Edit one cell, as an interactive user would.
+    set_cell(1 + (round % 23), round % 16, 0, round * 13 % 97);
+  }
+  for (var c = 0; c < 16; c = c + 1) {
+    total = (total * 17 + get_val(cell_index(23, c))) % 999983;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let sources = [ ("curses", curses); ("sheet", sheet); ("scmain", main) ]

@@ -1,0 +1,172 @@
+(** mini-vortex: an object-oriented in-memory database, after
+    147.vortex.
+
+    Vortex is famous for its deep chains of tiny accessor and
+    validation routines around every record operation.  Here objects of
+    three "classes" (person, part, draw) live in fixed-size record
+    arrays behind a memory layer; transactions insert, look up by a
+    hashed index, validate every field through per-class checkers, and
+    periodically traverse relations — thousands of dynamic calls, two
+    and three layers deep, most of them trivially inlinable. *)
+
+let mem = {|
+// Record storage: each object is 8 cells in a typed arena.
+global arena[16384];
+public global nobjects = 0;
+
+func obj_alloc() {
+  if (nobjects >= 2048) { abort(); }
+  var h = nobjects;
+  nobjects = nobjects + 1;
+  return h;
+}
+
+func field_get(h, f) { return arena[h * 8 + (f & 7)]; }
+func field_set(h, f, v) { arena[h * 8 + (f & 7)] = v; return 0; }
+func obj_count() { return nobjects; }
+func db_reset() { nobjects = 0; return 0; }
+|}
+
+let objects = {|
+// Field 0: class tag (1 person, 2 part, 3 draw); 1: id; 2..5 payload;
+// 6: relation handle; 7: checksum.
+func class_of(h) { return field_get(h, 0); }
+func id_of(h) { return field_get(h, 1); }
+
+func checksum_of(h) {
+  var s = 0;
+  for (var f = 0; f < 7; f = f + 1) { s = (s * 31 + field_get(h, f)) & 1048575; }
+  return s;
+}
+
+func seal(h) { field_set(h, 7, checksum_of(h)); return 0; }
+func is_valid(h) { return field_get(h, 7) == checksum_of(h); }
+
+func new_object(class, id, p1, p2) {
+  var h = obj_alloc();
+  field_set(h, 0, class);
+  field_set(h, 1, id);
+  field_set(h, 2, p1);
+  field_set(h, 3, p2);
+  field_set(h, 4, p1 * 3 + p2);
+  field_set(h, 5, (p1 ^ p2) & 255);
+  field_set(h, 6, 0 - 1);
+  seal(h);
+  return h;
+}
+
+func relate(h, target) {
+  field_set(h, 6, target);
+  seal(h);
+  return 0;
+}
+
+// Per-class validators, each a pile of small checks.
+static func valid_person(h) {
+  if (field_get(h, 2) < 0) { return 0; }
+  if (field_get(h, 3) > 1048576) { return 0; }
+  return is_valid(h);
+}
+static func valid_part(h) {
+  if (field_get(h, 4) != field_get(h, 2) * 3 + field_get(h, 3)) { return 0; }
+  return is_valid(h);
+}
+static func valid_draw(h) {
+  if ((field_get(h, 5) & 255) != field_get(h, 5)) { return 0; }
+  return is_valid(h);
+}
+
+func validate(h) {
+  var c = class_of(h);
+  if (c == 1) { return valid_person(h); }
+  if (c == 2) { return valid_part(h); }
+  if (c == 3) { return valid_draw(h); }
+  return 0;
+}
+|}
+
+let db = {|
+global index_[4096];
+
+func index_clear() {
+  for (var i = 0; i < 4096; i = i + 1) { index_[i] = 0 - 1; }
+  return 0;
+}
+
+static func slot_for(id) { return (id * 2654435761) & 4095; }
+
+func index_insert(id, h) {
+  var s = slot_for(id);
+  var probes = 0;
+  while (probes < 4096) {
+    if (index_[s] < 0) { index_[s] = h; return s; }
+    s = (s + 1) & 4095;
+    probes = probes + 1;
+  }
+  abort();
+  return 0;
+}
+
+func index_find(id) {
+  var s = slot_for(id);
+  var probes = 0;
+  while (probes < 4096) {
+    var h = index_[s];
+    if (h < 0) { return 0 - 1; }
+    if (id_of(h) == id) { return h; }
+    s = (s + 1) & 4095;
+    probes = probes + 1;
+  }
+  return 0 - 1;
+}
+
+// Walk the relation chain from h, summing ids (bounded).
+func traverse(h) {
+  var sum = 0;
+  var steps = 0;
+  while (h >= 0 && steps < 64) {
+    if (validate(h) == 0) { return 0 - sum; }
+    sum = (sum + id_of(h)) % 999983;
+    h = field_get(h, 6);
+    steps = steps + 1;
+  }
+  return sum;
+}
+|}
+
+let main = {|
+func main() {
+  var txns = input_size;
+  db_reset();
+  index_clear();
+  var x = 31;
+  var total = 0;
+  var prev = 0 - 1;
+  for (var t = 0; t < txns; t = t + 1) {
+    x = (x * 1103515245 + 12345) & 1048575;
+    var class = 1 + (x % 3);
+    var id = t * 2 + 1;
+    var h = new_object(class, id, x & 1023, (x >> 10) & 1023);
+    index_insert(id, h);
+    if (prev >= 0) { relate(h, prev); }
+    prev = h;
+    // Point lookups, mostly hits with some misses (cold path).
+    var probe = index_find(1 + 2 * (x % (t + 1)));
+    if (probe >= 0) { total = (total + traverse(probe)) % 999983; }
+    else { total = (total + 7) % 999983; }
+    if (t % 32 == 31) {
+      // Full validation sweep.
+      var ok = 0;
+      for (var i = 0; i < obj_count(); i = i + 1) {
+        ok = ok + validate(i);
+      }
+      total = (total * 31 + ok) % 999983;
+    }
+    if (obj_count() >= 2000) { db_reset(); index_clear(); prev = 0 - 1; }
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let sources = [ ("mem", mem); ("objects", objects); ("db", db); ("vmain", main) ]

@@ -1,0 +1,1 @@
+test/test_hlo.ml: Alcotest Array Hlo Interp List Minic Opt Option Printf String Ucode Workloads

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Hlo Interp List Machine Minic Option Printf String Ucode Workloads

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Int64 Interp List Minic Ucode

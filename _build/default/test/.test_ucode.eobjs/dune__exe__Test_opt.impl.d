@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Interp List Machine Minic Opt Ucode Workloads

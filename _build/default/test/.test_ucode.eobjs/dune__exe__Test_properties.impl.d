@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Float Hlo Int64 Interp List Machine Minic Opt Option Printf QCheck QCheck_alcotest String Ucode

@@ -1,0 +1,1 @@
+test/test_ucode.ml: Alcotest Fmt Interp List Machine Minic String Ucode

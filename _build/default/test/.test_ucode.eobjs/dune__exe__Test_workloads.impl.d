@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hlo Interp List Machine Minic Printf String Ucode Workloads

@@ -1,0 +1,251 @@
+(* Tests for the IR interpreter: builtins, traps, the fuel/depth
+   limits, and the exactness of the profile database it collects. *)
+
+module U = Ucode.Types
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_float = Alcotest.(check (float 0.0001))
+
+let compile src = Minic.Compile.compile_string src
+
+let test_exit_code () =
+  let r = Interp.run (compile "func main() { return 42; }") in
+  check_bool "exit code" true (Int64.equal r.Interp.exit_code 42L)
+
+let test_print_builtins () =
+  let r =
+    Interp.run
+      (compile
+         {| func main() {
+              print_int(-7);
+              print_char('h'); print_char('i'); print_char('\n');
+              return 0;
+            } |})
+  in
+  check_string "output" "-7\nhi\n" r.Interp.output
+
+let test_alloc_sequential () =
+  let src = {|
+    func main() {
+      var a = alloc(3);
+      var b = alloc(2);
+      print_int(b - a);
+      return 0;
+    }
+  |} in
+  check_string "bump allocation" "3\n" (Interp.run (compile src)).Interp.output
+
+let test_fuel_limit () =
+  let p = compile "func main() { while (1) { } return 0; }" in
+  let config = { Interp.default_config with Interp.fuel = 10_000 } in
+  match Interp.run ~config p with
+  | exception Interp.Trap (Interp.Out_of_fuel, _) -> ()
+  | _ -> Alcotest.fail "expected fuel trap"
+
+let test_depth_limit () =
+  let p =
+    compile "func f(n) { return f(n + 1); } func main() { return f(0); }"
+  in
+  let config = { Interp.default_config with Interp.max_call_depth = 100 } in
+  match Interp.run ~config p with
+  | exception Interp.Trap (Interp.Call_depth_exceeded, _) -> ()
+  | _ -> Alcotest.fail "expected depth trap"
+
+let test_depth_recovers () =
+  (* Deep-but-bounded recursion must not trip the limit when each call
+     returns (the depth counter must be decremented on return). *)
+  let src = {|
+    func down(n) { if (n == 0) { return 0; } return down(n - 1); }
+    func main() {
+      var i = 0;
+      while (i < 50) { down(90); i = i + 1; }
+      print_int(i);
+      return 0;
+    }
+  |} in
+  let config = { Interp.default_config with Interp.max_call_depth = 100 } in
+  check_string "depth recovers" "50\n"
+    (Interp.run ~config (compile src)).Interp.output
+
+let test_bad_handle () =
+  let src = {|
+    func main() {
+      var f = 123456;
+      return f(1);
+    }
+  |} in
+  match Interp.run (compile src) with
+  | exception Interp.Trap (Interp.Bad_function_handle _, _) -> ()
+  | _ -> Alcotest.fail "expected bad handle trap"
+
+let test_null_deref () =
+  let src = "func main() { var p = 0; return p[0]; }" in
+  match Interp.run (compile src) with
+  | exception Interp.Trap (Interp.Out_of_bounds _, _) -> ()
+  | _ -> Alcotest.fail "expected null deref trap"
+
+(* ------------------------------------------------------------------ *)
+(* Profile exactness.                                                  *)
+
+let test_profile_counts_exact () =
+  let src = {|
+    func leaf(x) { return x + 1; }
+    func main() {
+      var s = 0;
+      for (var i = 0; i < 7; i = i + 1) { s = leaf(s); }
+      if (s > 100) { print_int(0); } else { print_int(s); }
+      return 0;
+    }
+  |} in
+  let p = compile src in
+  let r = Interp.train p in
+  let prof = r.Interp.profile in
+  let leaf = U.find_routine_exn p "leaf" in
+  let main = U.find_routine_exn p "main" in
+  check_float "leaf entered 7 times" 7.0 (Ucode.Profile.entry_count prof leaf);
+  check_float "main entered once" 1.0 (Ucode.Profile.entry_count prof main);
+  (* The call site to leaf fired 7 times. *)
+  let site =
+    match U.calls_of_routine main with
+    | sites -> (
+      match
+        List.find_opt
+          (fun (_, c) -> c.U.c_callee = U.Direct "leaf")
+          sites
+      with
+      | Some (_, c) -> c.U.c_site
+      | None -> Alcotest.fail "no call to leaf")
+  in
+  check_float "site count" 7.0 (Ucode.Profile.site_count prof site)
+
+let test_profile_indirect_targets () =
+  let src = {|
+    func a(x) { return x; }
+    func b(x) { return x + 1; }
+    func main() {
+      var f = &a;
+      var s = 0;
+      for (var i = 0; i < 5; i = i + 1) {
+        s = s + f(i);
+        if (i == 2) { f = b; }
+      }
+      print_int(s);
+      return 0;
+    }
+  |} in
+  let p = compile src in
+  let r = Interp.train p in
+  let main = U.find_routine_exn p "main" in
+  let site =
+    match
+      List.find_opt
+        (fun (_, c) ->
+          match c.U.c_callee with U.Indirect _ -> true | U.Direct _ -> false)
+        (U.calls_of_routine main)
+    with
+    | Some (_, c) -> c.U.c_site
+    | None -> Alcotest.fail "no indirect site"
+  in
+  let hist = Ucode.Profile.site_targets r.Interp.profile site in
+  (* i = 0,1,2 call a; i = 3,4 call b. *)
+  check_float "a count" 3.0 (List.assoc "a" hist);
+  check_float "b count" 2.0 (List.assoc "b" hist)
+
+let test_profile_block_flow_conservation () =
+  (* For every routine, the entry count equals the number of dynamic
+     invocations, which equals the sum of its incoming site counts
+     (main gets one free invocation). *)
+  let b = Workloads.Suite.find "026.compress" in
+  let p = Workloads.Suite.compile b ~input:Workloads.Suite.Train in
+  let r = Interp.train p in
+  let prof = r.Interp.profile in
+  let cg = Ucode.Callgraph.build p in
+  List.iter
+    (fun (routine : U.routine) ->
+      let entry = Ucode.Profile.entry_count prof routine in
+      let incoming =
+        List.fold_left
+          (fun acc (e : Ucode.Callgraph.edge) ->
+            acc +. Ucode.Profile.site_count prof e.Ucode.Callgraph.e_site)
+          0.0
+          (Ucode.Callgraph.incoming cg routine.U.r_name)
+      in
+      let expected =
+        if routine.U.r_name = p.U.p_main then incoming +. 1.0 else incoming
+      in
+      (* Indirect calls also enter routines; account via target
+         histograms. *)
+      let indirect_entries =
+        List.fold_left
+          (fun acc (e : Ucode.Callgraph.edge) ->
+            match e.Ucode.Callgraph.e_callee with
+            | U.Indirect _ ->
+              acc
+              +. (List.assoc_opt routine.U.r_name
+                    (Ucode.Profile.site_targets prof e.Ucode.Callgraph.e_site)
+                 |> Option.value ~default:0.0)
+            | U.Direct _ -> acc)
+          0.0 cg.Ucode.Callgraph.cg_edges
+      in
+      check_float
+        ("flow conservation for " ^ routine.U.r_name)
+        (expected +. indirect_entries) entry)
+    p.U.p_routines
+
+let test_print_char_masks () =
+  (* Values beyond a byte are masked, as the builtin documents. *)
+  let src = "func main() { print_char(65 + 256); print_char(10); return 0; }" in
+  check_string "masked to a byte" "A
+" (Interp.run (compile src)).Interp.output
+
+let test_alloc_zero_and_negative () =
+  let ok = compile "func main() { var p = alloc(0); var q = alloc(1); print_int(q - p); return 0; }" in
+  check_string "alloc(0) is a no-op" "0
+" (Interp.run ok).Interp.output;
+  let bad = compile "func main() { var p = alloc(0 - 5); return p; }" in
+  match Interp.run bad with
+  | exception Interp.Trap (Interp.Out_of_memory, _) -> ()
+  | _ -> Alcotest.fail "negative alloc must trap"
+
+let test_indirect_arity_mismatch_traps () =
+  let src = {|
+    func two(a, b) { return a + b; }
+    func main() {
+      var f = &two;
+      return f(1);
+    }
+  |} in
+  match Interp.run (compile src) with
+  | exception Interp.Trap (Interp.Indirect_arity_mismatch _, _) -> ()
+  | _ -> Alcotest.fail "indirect arity mismatch must trap"
+
+let test_steps_counted () =
+  let r = Interp.run (compile "func main() { return 1 + 2; }") in
+  check_bool "steps positive" true (r.Interp.steps > 0);
+  check_bool "steps small" true (r.Interp.steps < 20)
+
+let () =
+  Alcotest.run "interp"
+    [ ( "execution",
+        [ Alcotest.test_case "exit code" `Quick test_exit_code;
+          Alcotest.test_case "print builtins" `Quick test_print_builtins;
+          Alcotest.test_case "alloc" `Quick test_alloc_sequential;
+          Alcotest.test_case "steps" `Quick test_steps_counted ] );
+      ( "traps",
+        [ Alcotest.test_case "fuel" `Quick test_fuel_limit;
+          Alcotest.test_case "depth" `Quick test_depth_limit;
+          Alcotest.test_case "depth recovers" `Quick test_depth_recovers;
+          Alcotest.test_case "bad handle" `Quick test_bad_handle;
+          Alcotest.test_case "null deref" `Quick test_null_deref;
+          Alcotest.test_case "print_char masks" `Quick test_print_char_masks;
+          Alcotest.test_case "alloc edge cases" `Quick
+            test_alloc_zero_and_negative;
+          Alcotest.test_case "indirect arity trap" `Quick
+            test_indirect_arity_mismatch_traps ] );
+      ( "profile",
+        [ Alcotest.test_case "exact counts" `Quick test_profile_counts_exact;
+          Alcotest.test_case "indirect targets" `Quick
+            test_profile_indirect_targets;
+          Alcotest.test_case "flow conservation" `Quick
+            test_profile_block_flow_conservation ] ) ]
