@@ -1,0 +1,21 @@
+.PHONY: all build check test bench ci clean
+
+all: build
+
+build:
+	dune build
+
+check:
+	dune build @check
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+ci:
+	./ci.sh
+
+clean:
+	dune clean

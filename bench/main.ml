@@ -115,6 +115,36 @@ let table_figure_tests =
       (Staged.stage (fun () ->
            ignore (Experiments.Cache_sweep.run_one "130.li"))) ]
 
+(* Telemetry: the disabled path must stay ~free (one branch per
+   event), and the enabled counter path cheap. The enabled-span path
+   is excluded from Bechamel because recorded spans accumulate. *)
+let telemetry_tests =
+  let enabled_collector = Telemetry.Collector.create () in
+  [ Test.make ~name:"telemetry/disabled-count"
+      (Staged.stage (fun () -> Telemetry.Collector.count "bench.count" 1));
+    Test.make ~name:"telemetry/disabled-span"
+      (Staged.stage (fun () ->
+           Telemetry.Collector.with_span "bench.span" (fun () -> ())));
+    Test.make ~name:"telemetry/enabled-count"
+      (Staged.stage (fun () ->
+           Telemetry.Collector.count_in enabled_collector "bench.count" 1.0)) ]
+
+(* The hard guard behind the Bechamel numbers: time a burst of
+   disabled events directly and complain if they cost more than a
+   handful of nanoseconds each. *)
+let telemetry_guard () =
+  assert (not (Telemetry.Collector.enabled ()));
+  let n = 5_000_000 in
+  let t0 = Telemetry.Clock.now_us () in
+  for _ = 1 to n do
+    Telemetry.Collector.count "guard.event" 1
+  done;
+  let t1 = Telemetry.Clock.now_us () in
+  let ns = (t1 -. t0) *. 1e3 /. float_of_int n in
+  Fmt.pr "telemetry guard: disabled event = %.2f ns/event (%s)@." ns
+    (if ns < 100.0 then "ok"
+     else "SLOW: disabled telemetry must cost one branch per event")
+
 (* Phase micro-benchmarks: where does compile time actually go? *)
 let phase_tests =
   [ Test.make ~name:"phase/front-end-022.li"
@@ -140,7 +170,7 @@ let benchmark () =
   let instances = Instance.[ monotonic_clock ] in
   let tests =
     Test.make_grouped ~name:"aggressive-inlining"
-      (table_figure_tests @ phase_tests)
+      (table_figure_tests @ phase_tests @ telemetry_tests)
   in
   let raw = Benchmark.all cfg instances tests in
   let ols =
@@ -169,4 +199,5 @@ let benchmark () =
 let () =
   reproduce ();
   benchmark ();
+  telemetry_guard ();
   Fmt.pr "@.done.@."

@@ -19,9 +19,41 @@ let read_file path =
 let module_name_of_path path = Filename.remove_extension (Filename.basename path)
 
 type runner = Run_none | Run_interp | Run_sim
+type trace_format = Trace_chrome | Trace_jsonl
 
 let compile_and_run files scope budget passes no_inline no_clone max_ops
-    dump_ir dump_asm dump_profile stats runner main =
+    dump_ir dump_asm dump_profile stats runner main trace trace_format
+    telemetry_summary =
+  (* Telemetry: install a collector when any observability flag is on;
+     export/summarize even if the compile or the run traps. *)
+  let collector =
+    if trace <> None || telemetry_summary then begin
+      let c = Telemetry.Collector.create () in
+      Telemetry.Collector.install c;
+      Some c
+    end
+    else None
+  in
+  let finish_telemetry () =
+    match collector with
+    | None -> ()
+    | Some c ->
+      Telemetry.Collector.uninstall ();
+      (match trace with
+      | None -> ()
+      | Some path ->
+        let contents =
+          match trace_format with
+          | Trace_chrome -> Telemetry.Export.chrome_string c
+          | Trace_jsonl -> Telemetry.Export.jsonl c
+        in
+        (* Runs from Fun.protect's finally: an unwritable path must not
+           turn into an "internal error" backtrace. *)
+        try Telemetry.Export.write_file ~path contents
+        with Sys_error msg -> Fmt.epr "hloc: cannot write trace: %s@." msg);
+      if telemetry_summary then Fmt.pr "%a@." Telemetry.Summary.pp c
+  in
+  Fun.protect ~finally:finish_telemetry @@ fun () ->
   try
     let sources =
       List.map
@@ -30,7 +62,10 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
             (read_file path))
         files
     in
-    let program, diags = Minic.Compile.compile_program ~main sources in
+    let program, diags =
+      Telemetry.Collector.with_span "minic.compile" (fun () ->
+          Minic.Compile.compile_program ~main sources)
+    in
     List.iter
       (fun d -> Fmt.epr "%a@." Minic.Diag.pp d)
       diags;
@@ -160,6 +195,36 @@ let entry_name =
   Arg.(value & opt string "main"
        & info [ "main" ] ~docv:"NAME" ~doc:"Entry routine.")
 
+let trace =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record telemetry (per-phase spans, counters and the \
+                 optimizer decision journal) and write it to $(docv) on \
+                 exit; the format is chosen by $(b,--trace-format).")
+
+let trace_format =
+  let parse = function
+    | "chrome" -> Ok Trace_chrome
+    | "jsonl" -> Ok Trace_jsonl
+    | s -> Error (`Msg ("unknown trace format " ^ s))
+  in
+  let print ppf = function
+    | Trace_chrome -> Fmt.string ppf "chrome"
+    | Trace_jsonl -> Fmt.string ppf "jsonl"
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Trace_chrome
+       & info [ "trace-format" ] ~docv:"FORMAT"
+           ~doc:"Trace file format: $(b,chrome) (a chrome://tracing / \
+                 Perfetto trace.json) or $(b,jsonl) (one JSON event per \
+                 line).")
+
+let telemetry_summary =
+  Arg.(value & flag
+       & info [ "telemetry-summary" ]
+           ~doc:"Print a human-readable summary of phase timings, \
+                 counters and optimizer decisions.")
+
 let cmd =
   let doc = "profile-guided cross-module inlining and cloning for MiniC" in
   let info = Cmd.info "hloc" ~version:"1.0" ~doc in
@@ -167,6 +232,6 @@ let cmd =
     Term.(ret
             (const compile_and_run $ files $ scope $ budget $ passes $ no_inline
             $ no_clone $ max_ops $ dump_ir $ dump_asm $ dump_profile $ stats
-            $ runner $ entry_name))
+            $ runner $ entry_name $ trace $ trace_format $ telemetry_summary))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local CI: everything the tree must pass before a merge.
+#
+#   ./ci.sh            (or: make ci)
+#
+# Steps: type-check, full build, test suite, then a telemetry smoke
+# run of the hloc driver on the example modules — asserting that a
+# Chrome trace is actually emitted and the summary prints.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== dune build @check =="
+dune build @check
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== telemetry smoke run (hloc --trace) =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+dune exec bin/hloc.exe -- \
+  examples/telemetry_util.mc examples/telemetry_main.mc \
+  --trace "$tmp/trace.json" --trace-format chrome --telemetry-summary \
+  --run interp > "$tmp/out.txt"
+grep -q '"traceEvents"' "$tmp/trace.json"
+grep -q 'telemetry summary' "$tmp/out.txt"
+dune exec bin/hloc.exe -- \
+  examples/telemetry_util.mc examples/telemetry_main.mc \
+  --trace "$tmp/trace.jsonl" --trace-format jsonl --run none > /dev/null
+grep -q '"type":"decision"' "$tmp/trace.jsonl"
+echo "trace ok: $(wc -c < "$tmp/trace.json") bytes (chrome), $(wc -l < "$tmp/trace.jsonl") events (jsonl)"
+
+echo "CI OK"

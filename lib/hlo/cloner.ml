@@ -14,6 +14,8 @@
 
 module U = Ucode.Types
 module CG = Ucode.Callgraph
+module T = Telemetry.Collector
+module TE = Telemetry.Event
 
 type group = {
   g_callee : string;
@@ -139,6 +141,10 @@ let build_groups (st : State.t) : group list =
                     List.length members = List.length incoming
                     && not (address_taken p callee_name)
                   in
+                  if T.enabled () then begin
+                    T.count "hlo.clone.groups" 1;
+                    T.count "hlo.clone.group_sites" (List.length members)
+                  end;
                   groups :=
                     { g_callee = callee_name; g_spec = spec; g_sites = members;
                       g_benefit = benefit; g_frequency = freq;
@@ -180,7 +186,7 @@ let retarget_sites (st : State.t) ~(spec : Clone_spec.t) ~(clone_name : string)
         U.update_routine st.State.program { caller with U.r_blocks = blocks })
     by_caller
 
-let apply_group (st : State.t) (g : group) : unit =
+let apply_group (st : State.t) ~(pass : int) (g : group) : unit =
   let p = st.State.program in
   let callee = U.find_routine_exn p g.g_callee in
   let key = Clone_spec.key g.g_spec in
@@ -192,7 +198,9 @@ let apply_group (st : State.t) (g : group) : unit =
   in
   let entry =
     match Hashtbl.find_opt st.State.clone_db key with
-    | Some entry -> entry
+    | Some entry ->
+      T.count "hlo.clone.db_hits" 1;
+      entry
     | None ->
       let clone_name = State.fresh_clone_name st g.g_callee in
       let clone, site_map =
@@ -203,6 +211,11 @@ let apply_group (st : State.t) (g : group) : unit =
       st.State.program <- U.add_routine st.State.program clone;
       st.State.report.Report.clones_created <-
         st.State.report.Report.clones_created + 1;
+      if T.enabled () then begin
+        T.count "hlo.clone.created" 1;
+        T.decision ~kind:TE.Clone_create ~verdict:TE.Accepted
+          ~context:g.g_callee ~score:g.g_benefit ~pass clone_name
+      end;
       let entry = { State.ce_name = clone_name; ce_site_map = site_map } in
       Hashtbl.replace st.State.clone_db key entry;
       entry
@@ -220,6 +233,10 @@ let apply_group (st : State.t) (g : group) : unit =
         (Report.Op_clone_replace
            { caller = e.CG.e_caller; clone = entry.State.ce_name;
              site = e.CG.e_site });
+      if T.enabled () then
+        T.decision ~kind:TE.Clone_replace ~verdict:TE.Accepted
+          ~context:e.CG.e_caller ~site:e.CG.e_site ~score:g.g_benefit ~pass
+          entry.State.ce_name;
       e :: take_sites rest
     | _ :: _ -> []
   in
@@ -260,7 +277,7 @@ let run_pass (st : State.t) ~(pass : int) : string list =
           in
           if Budget.can_afford st.State.budget ~pass cost then begin
             Budget.charge st.State.budget cost;
-            apply_group st g;
+            apply_group st ~pass g;
             touched := U.String_set.add g.g_callee !touched;
             (match Hashtbl.find_opt st.State.clone_db (Clone_spec.key g.g_spec) with
             | Some entry ->
@@ -270,6 +287,12 @@ let run_pass (st : State.t) ~(pass : int) : string list =
               (fun (e : CG.edge) ->
                 touched := U.String_set.add e.CG.e_caller !touched)
               g.g_sites
+          end
+          else if T.enabled () then begin
+            T.count "hlo.clone.reject.budget" 1;
+            T.decision ~kind:TE.Clone_create
+              ~verdict:(TE.Rejected "budget") ~score:g.g_benefit ~pass
+              g.g_callee
           end
         end)
       ranked;

@@ -11,6 +11,7 @@
     budget back. *)
 
 module U = Ucode.Types
+module T = Telemetry.Collector
 
 type result = {
   program : U.program;
@@ -22,7 +23,7 @@ type result = {
     and clones unreachable (via direct calls or taken addresses) from
     [main] and the exported user routines.  The count feeds Table 1's
     "Deletions" column. *)
-let delete_unreachable (st : State.t) : unit =
+let delete_unreachable ?(pass = -1) (st : State.t) : unit =
   let p = st.State.program in
   let is_root (r : U.routine) =
     r.U.r_name = p.U.p_main
@@ -59,7 +60,13 @@ let delete_unreachable (st : State.t) : unit =
   if dead <> [] then begin
     st.State.program <- U.remove_routines p dead;
     st.State.report.Report.deletions <-
-      st.State.report.Report.deletions + List.length dead
+      st.State.report.Report.deletions + List.length dead;
+    T.count "hlo.deletions" (List.length dead);
+    List.iter
+      (fun name ->
+        T.decision ~kind:Telemetry.Event.Delete ~verdict:Telemetry.Event.Accepted
+          ~pass name)
+      dead
   end
 
 let reoptimize (st : State.t) (touched : string list) : unit =
@@ -83,23 +90,27 @@ let validate_if_needed (st : State.t) ~where =
     cleaned size. *)
 let run ?(config = Config.default) ?(profile = Ucode.Profile.empty)
     (program : U.program) : result =
+  T.with_span "hlo.run" @@ fun () ->
   let program =
     if config.Config.optimize_between_passes then
-      Opt.Pipeline.optimize_program program
+      T.with_span "hlo.clean" (fun () -> Opt.Pipeline.optimize_program program)
     else program
   in
   let st = State.create config ~program ~profile in
   st.State.report.Report.cost_before <- Ucode.Size.program_cost program;
   Budget.recalibrate st.State.budget
     ~measured_cost:(Ucode.Size.program_cost program);
+  T.gauge "hlo.budget.allowance" st.State.budget.Budget.allowance;
   (* The IPA dead-call cleanup above may already strand routines. *)
-  delete_unreachable st;
+  T.with_span "hlo.prune" (fun () -> delete_unreachable st);
   (* Outlining first (when enabled): shrinking hot routines by their
      cold regions both lowers the quadratic cost the budget is anchored
      on and keeps the inliner's attention on code that runs. *)
   if config.Config.enable_outlining then begin
+    T.with_span "hlo.outline" @@ fun () ->
     let n = Outliner.run_pass st in
     st.State.report.Report.outlined <- n;
+    T.annotate "regions" (Telemetry.Event.Int n);
     validate_if_needed st ~where:"outlining";
     if n > 0 then begin
       reoptimize st
@@ -116,17 +127,24 @@ let run ?(config = Config.default) ?(profile = Ucode.Profile.empty)
     && (not (Budget.exhausted st.State.budget))
     && State.running st
   do
+    (T.with_span "hlo.pass" ~attrs:[ ("pass", Telemetry.Event.Int !pass) ]
+    @@ fun () ->
     let ops_before = Report.total_operations st.State.report in
-    let touched_clone = Cloner.run_pass st ~pass:!pass in
+    let touched_clone =
+      T.with_span "hlo.clone" (fun () -> Cloner.run_pass st ~pass:!pass)
+    in
     validate_if_needed st ~where:(Printf.sprintf "clone pass %d" !pass);
-    let touched_inline = Inliner.run_pass st ~pass:!pass in
+    let touched_inline =
+      T.with_span "hlo.inline" (fun () -> Inliner.run_pass st ~pass:!pass)
+    in
     validate_if_needed st ~where:(Printf.sprintf "inline pass %d" !pass);
-    delete_unreachable st;
+    T.with_span "hlo.prune" (fun () -> delete_unreachable ~pass:!pass st);
     reoptimize st (touched_clone @ touched_inline);
     validate_if_needed st ~where:(Printf.sprintf "optimize after pass %d" !pass);
-    delete_unreachable st;
+    T.with_span "hlo.prune" (fun () -> delete_unreachable ~pass:!pass st);
     Budget.recalibrate st.State.budget
       ~measured_cost:(Ucode.Size.program_cost st.State.program);
+    T.gauge "hlo.budget.spent" st.State.budget.Budget.spent;
     st.State.report.Report.passes_run <- st.State.report.Report.passes_run + 1;
     (* An idle pass means convergence — unless a later stage will
        release more budget, in which case the pass was idle merely
@@ -135,9 +153,10 @@ let run ?(config = Config.default) ?(profile = Ucode.Profile.empty)
     if
       Report.total_operations st.State.report = ops_before
       && stage_now >= st.State.budget.Budget.allowance
-    then continue_ := false;
+    then continue_ := false);
     incr pass
   done;
   st.State.report.Report.cost_after <- Ucode.Size.program_cost st.State.program;
+  T.gauge "hlo.budget.spent" st.State.budget.Budget.spent;
   { program = st.State.program; profile = st.State.profile;
     report = st.State.report }

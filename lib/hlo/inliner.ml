@@ -14,6 +14,8 @@
 
 module U = Ucode.Types
 module CG = Ucode.Callgraph
+module T = Telemetry.Collector
+module TE = Telemetry.Event
 
 type candidate = {
   i_caller : string;
@@ -36,6 +38,16 @@ type rejection =
   | Fp_model_mismatch
   | User_no_inline
   | Crosses_module
+
+let rejection_name = function
+  | Not_a_routine -> "not_a_routine"
+  | Indirect_site -> "indirect_site"
+  | Arity_mismatch -> "arity_mismatch"
+  | Callee_varargs -> "callee_varargs"
+  | Callee_alloca -> "callee_alloca"
+  | Fp_model_mismatch -> "fp_model_mismatch"
+  | User_no_inline -> "user_no_inline"
+  | Crosses_module -> "crosses_module"
 
 let screen (st : State.t) (e : CG.edge) : (U.routine * U.routine, rejection) result =
   let p = st.State.program in
@@ -201,12 +213,27 @@ let run_pass (st : State.t) ~(pass : int) : string list =
     let p = st.State.program in
     let cg = CG.build p in
     (* Screen and rank. *)
+    (* Journal one entry per screened edge; telemetry-off costs one
+       branch per edge. *)
+    let journal_screen_reject (e : CG.edge) r =
+      let callee =
+        match e.CG.e_callee with U.Direct n -> n | U.Indirect _ -> "<indirect>"
+      in
+      let reason = rejection_name r in
+      T.count "hlo.inline.screened" 1;
+      T.count ("hlo.inline.reject." ^ reason) 1;
+      T.decision ~kind:TE.Inline ~verdict:(TE.Rejected reason)
+        ~context:e.CG.e_caller ~site:e.CG.e_site ~pass callee
+    in
     let candidates =
       List.filter_map
         (fun (e : CG.edge) ->
           match screen st e with
-          | Error _ -> None
+          | Error r ->
+            if T.enabled () then journal_screen_reject e r;
+            None
           | Ok (caller, callee) ->
+            T.count "hlo.inline.screened" 1;
             Some
               { i_caller = caller.U.r_name; i_callee = callee.U.r_name;
                 i_site = e.CG.e_site; i_block = e.CG.e_block;
@@ -240,9 +267,18 @@ let run_pass (st : State.t) ~(pass : int) : string list =
           if Budget.can_afford st.State.budget ~pass delta then begin
             Budget.charge st.State.budget delta;
             Hashtbl.replace est_size cand.i_caller (sz_caller + sz_callee);
+            T.count "hlo.inline.scheduled" 1;
             true
           end
-          else false)
+          else begin
+            if T.enabled () then begin
+              T.count "hlo.inline.reject.budget" 1;
+              T.decision ~kind:TE.Inline ~verdict:(TE.Rejected "budget")
+                ~context:cand.i_caller ~site:cand.i_site ~score:cand.i_benefit
+                ~pass cand.i_callee
+            end;
+            false
+          end)
         ranked
     in
     (* Execute the schedule bottom-up: all inlines *into* a routine
@@ -258,6 +294,10 @@ let run_pass (st : State.t) ~(pass : int) : string list =
         accepted
     in
     let touched = ref U.String_set.empty in
+    let journal cand verdict =
+      T.decision ~kind:TE.Inline ~verdict ~context:cand.i_caller
+        ~site:cand.i_site ~score:cand.i_benefit ~pass cand.i_callee
+    in
     List.iter
       (fun cand ->
         if State.running st then begin
@@ -269,8 +309,20 @@ let run_pass (st : State.t) ~(pass : int) : string list =
               (Report.Op_inline
                  { caller = cand.i_caller; callee = cand.i_callee;
                    site = cand.i_site });
+            if T.enabled () then begin
+              T.count "hlo.inline.performed" 1;
+              journal cand TE.Accepted
+            end;
             touched := U.String_set.add cand.i_caller !touched
-          | exception Site_vanished -> ()
+          | exception Site_vanished ->
+            if T.enabled () then begin
+              T.count "hlo.inline.reject.site_vanished" 1;
+              journal cand (TE.Rejected "site_vanished")
+            end
+        end
+        else if T.enabled () then begin
+          T.count "hlo.inline.reject.operation_cap" 1;
+          journal cand (TE.Rejected "operation_cap")
         end)
       schedule;
     U.String_set.elements !touched

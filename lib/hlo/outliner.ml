@@ -295,6 +295,13 @@ let run_pass ?(config = default_config) (st : State.t) : int =
               let shrunk, outlined = extract st current rg in
               st.State.program <- U.update_routine st.State.program shrunk;
               st.State.program <- U.add_routine st.State.program outlined;
+              if Telemetry.Collector.enabled () then begin
+                Telemetry.Collector.count "hlo.outline.regions" 1;
+                Telemetry.Collector.count "hlo.outline.instructions" rg.rg_size;
+                Telemetry.Collector.decision ~kind:Telemetry.Event.Outline
+                  ~verdict:Telemetry.Event.Accepted ~context:r.U.r_name
+                  ~score:(float_of_int rg.rg_size) outlined.U.r_name
+              end;
               (* The moved blocks keep their counts, under the new
                  routine's name. *)
               U.Int_set.iter

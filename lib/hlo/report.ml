@@ -32,11 +32,14 @@ let total_operations t = t.inlines + t.clone_replacements
 
 let pp ppf t =
   Fmt.pf ppf
-    "inlines=%d clones=%d clone-repls=%d deletions=%d%s passes=%d cost %.0f -> %.0f (%+.0f%%)"
+    "inlines=%d clones=%d clone-repls=%d deletions=%d%s passes=%d cost %.0f -> %.0f (%s)"
     t.inlines t.clones_created t.clone_replacements t.deletions
     (if t.outlined > 0 then Printf.sprintf " outlined=%d" t.outlined else "")
     t.passes_run
     t.cost_before t.cost_after
+    (* A zero pre-HLO cost makes the percent delta meaningless; keep
+       the suffix parseable by printing an explicit n/a. *)
     (if t.cost_before > 0.0 then
-       (t.cost_after -. t.cost_before) /. t.cost_before *. 100.0
-     else 0.0)
+       Printf.sprintf "%+.0f%%"
+         ((t.cost_after -. t.cost_before) /. t.cost_before *. 100.0)
+     else "n/a")

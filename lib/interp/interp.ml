@@ -244,15 +244,25 @@ let rec run_routine st (r : U.routine) (blocks : (int, U.block) Hashtbl.t)
   st.depth <- st.depth - 1;
   result
 
-(** Run a program from its [main] routine (called with no arguments). *)
-let run ?(config = default_config) (p : U.program) : result =
+(* [span_name] distinguishes plain runs from training runs in traces. *)
+let run_spanned span_name config (p : U.program) : result =
+  Telemetry.Collector.with_span span_name @@ fun () ->
   let st = make_state p config in
   let main, main_blocks = Hashtbl.find st.routines p.U.p_main in
   let exit_code = run_routine st main main_blocks [] in
+  if Telemetry.Collector.enabled () then begin
+    Telemetry.Collector.annotate "steps" (Telemetry.Event.Int st.steps);
+    Telemetry.Collector.annotate "profiled" (Telemetry.Event.Bool config.profile);
+    Telemetry.Collector.count "interp.steps" st.steps
+  end;
   { exit_code; output = Buffer.contents st.output; steps = st.steps;
     profile = st.prof }
+
+(** Run a program from its [main] routine (called with no arguments). *)
+let run ?(config = default_config) (p : U.program) : result =
+  run_spanned "interp.run" config p
 
 (** The instrumented training run: execute and return the profile
     database alongside the result. *)
 let train ?(config = default_config) (p : U.program) : result =
-  run ~config:{ config with profile = true } p
+  run_spanned "interp.train" { config with profile = true } p

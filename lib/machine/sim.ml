@@ -66,6 +66,7 @@ type result = {
 }
 
 let run ?(config = default_config) (image : Layout.image) : result =
+  Telemetry.Collector.with_span "machine.sim" @@ fun () ->
   let code = image.Layout.code in
   let mem = Array.make config.memory_cells 0L in
   List.iter (fun (cell, v) -> mem.(cell) <- v) image.Layout.global_init;
@@ -220,6 +221,16 @@ let run ?(config = default_config) (image : Layout.image) : result =
     | V.Msys (name, n) -> regs.(Regalloc.result_reg) <- syscall name n here);
     pc := !next
   done;
+  if Telemetry.Collector.enabled () then begin
+    Telemetry.Collector.annotate "instructions" (Telemetry.Event.Int !instructions);
+    Telemetry.Collector.annotate "cycles" (Telemetry.Event.Int !cycles);
+    Telemetry.Collector.count "machine.instructions" !instructions;
+    Telemetry.Collector.count "machine.cycles" !cycles;
+    Telemetry.Collector.count "machine.icache_misses" icache.Cache.misses;
+    Telemetry.Collector.count "machine.dcache_misses" dcache.Cache.misses;
+    Telemetry.Collector.count "machine.branch_mispredicts"
+      predictor.Branch_predictor.mispredicts
+  end;
   { exit_code = regs.(Regalloc.result_reg);
     output = Buffer.contents output;
     metrics =
@@ -233,4 +244,7 @@ let run ?(config = default_config) (image : Layout.image) : result =
 
 (** Compile (lower + lay out) and simulate a ucode program. *)
 let run_program ?config (p : U.program) : result =
-  run ?config (Layout.build p)
+  let image =
+    Telemetry.Collector.with_span "machine.layout" (fun () -> Layout.build p)
+  in
+  run ?config image

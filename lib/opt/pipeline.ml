@@ -61,6 +61,12 @@ let optimize_routine ?(removable = fun _ -> false)
     set once (the "limited interprocedural analysis" of the paper) and
     feeds it to per-routine DCE. *)
 let optimize_program ?(max_rounds = 4) (p : U.program) : U.program =
+  Telemetry.Collector.with_span "opt.program" @@ fun () ->
+  if Telemetry.Collector.enabled () then begin
+    let n = List.length p.U.p_routines in
+    Telemetry.Collector.annotate "routines" (Telemetry.Event.Int n);
+    Telemetry.Collector.count "opt.routines_optimized" n
+  end;
   let deletable = Ipa.deletable_routines p in
   let removable n = U.String_set.mem n deletable in
   let arity_of n = U.arity_in_program p n in
@@ -71,6 +77,12 @@ let optimize_program ?(max_rounds = 4) (p : U.program) : U.program =
 (** Optimize only the named routines (used by HLO after a pass touched
     a subset of the program). *)
 let optimize_selected ?(max_rounds = 4) (p : U.program) names : U.program =
+  Telemetry.Collector.with_span "opt.selected" @@ fun () ->
+  if Telemetry.Collector.enabled () then begin
+    let n = List.length names in
+    Telemetry.Collector.annotate "routines" (Telemetry.Event.Int n);
+    Telemetry.Collector.count "opt.routines_optimized" n
+  end;
   let deletable = Ipa.deletable_routines p in
   let removable n = U.String_set.mem n deletable in
   let arity_of n = U.arity_in_program p n in

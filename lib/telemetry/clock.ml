@@ -1,0 +1,16 @@
+(* Microsecond clock, strictly increasing.  Wall-clock readings that
+   repeat (or step backwards) are bumped by 10ns, so every event gets a
+   distinct, ordered timestamp. *)
+
+let epoch = ref (Unix.gettimeofday ())
+let floor_us = ref 0.0
+
+let now_us () =
+  let raw = (Unix.gettimeofday () -. !epoch) *. 1e6 in
+  let v = if raw > !floor_us then raw else !floor_us +. 0.01 in
+  floor_us := v;
+  v
+
+let reset () =
+  epoch := Unix.gettimeofday ();
+  floor_us := 0.0

@@ -1,0 +1,14 @@
+(** The telemetry time source: microseconds since the process's first
+    observation, strictly increasing.
+
+    The raw source is [Unix.gettimeofday] (wall clock).  Successive
+    calls are clamped to be strictly increasing, so span timestamps
+    are monotonic even if the system clock steps backwards — which is
+    what the trace viewers and the nesting invariants require. *)
+
+(** Current time in microseconds, strictly greater than any value
+    returned before. *)
+val now_us : unit -> float
+
+(** Reset the epoch and the monotonic floor (tests only). *)
+val reset : unit -> unit

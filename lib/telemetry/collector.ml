@@ -1,0 +1,119 @@
+(* The collector: an append-only event list (newest first), a stack of
+   open spans, and a counter table.  Spans are recorded when they
+   close, so [events] is ordered by completion; [sp_depth] preserves
+   the nesting the stack saw. *)
+
+type open_span = {
+  os_name : string;
+  os_start_us : float;
+  os_depth : int;
+  mutable os_attrs : Event.attrs;
+}
+
+type t = {
+  mutable evs : Event.t list;  (* newest first *)
+  mutable stack : open_span list;  (* innermost first *)
+  ctrs : Counters.t;
+}
+
+let create () = { evs = []; stack = []; ctrs = Counters.create () }
+
+let events t = List.rev t.evs
+
+let spans t =
+  List.rev
+    (List.filter_map (function Event.Span s -> Some s | _ -> None) t.evs)
+
+let decisions t =
+  List.rev
+    (List.filter_map (function Event.Decision d -> Some d | _ -> None) t.evs)
+
+let counters t = t.ctrs
+
+let journal_count t ~kind ~accepted =
+  List.length
+    (List.filter
+       (fun (d : Event.decision) ->
+         d.Event.d_kind = kind
+         &&
+         match d.Event.d_verdict with
+         | Event.Accepted -> accepted
+         | Event.Rejected _ -> not accepted)
+       (decisions t))
+
+(* ------------------------------------------------------------------ *)
+(* Per-instance operations.                                            *)
+
+let begin_span_in t ?(attrs = []) name =
+  t.stack <-
+    { os_name = name; os_start_us = Clock.now_us ();
+      os_depth = List.length t.stack; os_attrs = attrs }
+    :: t.stack
+
+let end_span_in t =
+  match t.stack with
+  | [] -> ()  (* unbalanced end: drop rather than corrupt *)
+  | os :: rest ->
+    t.stack <- rest;
+    let now = Clock.now_us () in
+    t.evs <-
+      Event.Span
+        { Event.sp_name = os.os_name; sp_start_us = os.os_start_us;
+          sp_dur_us = now -. os.os_start_us; sp_depth = os.os_depth;
+          sp_attrs = List.rev os.os_attrs }
+      :: t.evs
+
+let with_span_in t ?attrs name f =
+  begin_span_in t ?attrs name;
+  Fun.protect ~finally:(fun () -> end_span_in t) f
+
+let annotate_in t key value =
+  match t.stack with
+  | [] -> ()
+  | os :: _ -> os.os_attrs <- (key, value) :: os.os_attrs
+
+let count_in t name v = Counters.add t.ctrs name v
+let gauge_in t name v = Counters.set t.ctrs name v
+
+let decision_in t ~kind ~verdict ?(context = "") ?(site = -1) ?(score = 0.0)
+    ?(pass = -1) subject =
+  t.evs <-
+    Event.Decision
+      { Event.d_kind = kind; d_verdict = verdict; d_subject = subject;
+        d_context = context; d_site = site; d_score = score; d_pass = pass;
+        d_time_us = Clock.now_us () }
+    :: t.evs
+
+(* ------------------------------------------------------------------ *)
+(* The ambient collector.                                              *)
+
+let ambient : t option ref = ref None
+
+let install t = ambient := Some t
+let uninstall () = ambient := None
+let active () = !ambient
+let enabled () = Option.is_some !ambient
+
+let with_span ?attrs name f =
+  match !ambient with
+  | None -> f ()
+  | Some t -> with_span_in t ?attrs name f
+
+let annotate key value =
+  match !ambient with None -> () | Some t -> annotate_in t key value
+
+let count name v =
+  match !ambient with
+  | None -> ()
+  | Some t -> count_in t name (float_of_int v)
+
+let countf name v =
+  match !ambient with None -> () | Some t -> count_in t name v
+
+let gauge name v =
+  match !ambient with None -> () | Some t -> gauge_in t name v
+
+let decision ~kind ~verdict ?context ?site ?score ?pass subject =
+  match !ambient with
+  | None -> ()
+  | Some t -> decision_in t ~kind ~verdict ?context ?site ?score ?pass subject

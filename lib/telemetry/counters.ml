@@ -1,0 +1,24 @@
+type t = (string, float ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let cell (t : t) name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0.0 in
+    Hashtbl.replace t name r;
+    r
+
+let add t name v =
+  let r = cell t name in
+  r := !r +. v
+
+let incr t name = add t name 1.0
+let set t name v = cell t name := v
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0.0
+let is_empty t = Hashtbl.length t = 0
+
+let to_sorted_list t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

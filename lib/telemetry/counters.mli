@@ -1,0 +1,27 @@
+(** Named counters and gauges.
+
+    Counters accumulate ([add]); gauges record the latest value
+    ([set]).  Both live in one namespace — by convention counter names
+    are dotted paths ([hlo.inline.accepted]) and gauges describe a
+    level rather than a flow ([hlo.budget.spent]). *)
+
+type t
+
+val create : unit -> t
+
+(** [add t name v] adds [v] to counter [name] (creating it at 0). *)
+val add : t -> string -> float -> unit
+
+(** [incr t name] = [add t name 1.0]. *)
+val incr : t -> string -> unit
+
+(** [set t name v] overwrites [name] with [v] (gauge semantics). *)
+val set : t -> string -> float -> unit
+
+(** Current value; [0.0] for names never touched. *)
+val get : t -> string -> float
+
+val is_empty : t -> bool
+
+(** All counters, sorted by name. *)
+val to_sorted_list : t -> (string * float) list

@@ -1,0 +1,75 @@
+(** Telemetry event model.
+
+    Three kinds of data flow through a collector:
+
+    - {e spans}: named, timed, nestable intervals ("the inline stage of
+      HLO pass 2 took 840us"), each with key/value attributes;
+    - {e decisions}: one structured journal entry per inline / clone /
+      outline / delete decision the optimizer takes — including the
+      rejected candidates, with their reason and rank score;
+    - {e counters} (kept aggregated in {!Counters}, not per-event).
+
+    Spans are recorded on completion, so the event list is ordered by
+    span {e end} time; nesting is recovered from the [sp_depth] field
+    or from interval containment. *)
+
+type value =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type attrs = (string * value) list
+
+type span = {
+  sp_name : string;
+  sp_start_us : float;
+  sp_dur_us : float;
+  sp_depth : int;  (** 0 = top level; children are parent depth + 1 *)
+  sp_attrs : attrs;
+}
+
+(** What kind of optimizer decision a journal entry records. *)
+type decision_kind =
+  | Inline          (** inline a callee body at one call site *)
+  | Clone_create    (** materialize (or reject) a clone group *)
+  | Clone_replace   (** retarget one call site to a clone *)
+  | Outline         (** extract a cold region into a new routine *)
+  | Delete          (** remove an unreachable routine *)
+
+type verdict =
+  | Accepted
+  | Rejected of string  (** the reason, e.g. ["budget"], ["callee_varargs"] *)
+
+type decision = {
+  d_kind : decision_kind;
+  d_verdict : verdict;
+  d_subject : string;  (** the callee / clone / routine acted on *)
+  d_context : string;  (** the caller or host routine; [""] if n/a *)
+  d_site : int;        (** call-site id; [-1] if not site-specific *)
+  d_score : float;     (** rank / benefit figure of merit; 0 if unranked *)
+  d_pass : int;        (** HLO pass index; [-1] outside the pass loop *)
+  d_time_us : float;
+}
+
+type t =
+  | Span of span
+  | Decision of decision
+
+let kind_name = function
+  | Inline -> "inline"
+  | Clone_create -> "clone_create"
+  | Clone_replace -> "clone_replace"
+  | Outline -> "outline"
+  | Delete -> "delete"
+
+let verdict_name = function Accepted -> "accepted" | Rejected _ -> "rejected"
+
+let value_to_json : value -> Json.t = function
+  | Str s -> Json.String s
+  | Int i -> Json.Int i
+  | Float x -> Json.Float x
+  | Bool b -> Json.Bool b
+
+let attrs_to_json (attrs : attrs) : Json.t =
+  Json.Assoc (List.map (fun (k, v) -> (k, value_to_json v)) attrs)

@@ -1,0 +1,115 @@
+let span_fields (s : Event.span) =
+  [ ("type", Json.String "span"); ("name", Json.String s.Event.sp_name);
+    ("ts_us", Json.Float s.Event.sp_start_us);
+    ("dur_us", Json.Float s.Event.sp_dur_us);
+    ("depth", Json.Int s.Event.sp_depth);
+    ("attrs", Event.attrs_to_json s.Event.sp_attrs) ]
+
+let decision_fields (d : Event.decision) =
+  [ ("type", Json.String "decision");
+    ("kind", Json.String (Event.kind_name d.Event.d_kind));
+    ("verdict", Json.String (Event.verdict_name d.Event.d_verdict)) ]
+  @ (match d.Event.d_verdict with
+    | Event.Accepted -> []
+    | Event.Rejected reason -> [ ("reason", Json.String reason) ])
+  @ [ ("subject", Json.String d.Event.d_subject);
+      ("context", Json.String d.Event.d_context);
+      ("site", Json.Int d.Event.d_site);
+      ("score", Json.Float d.Event.d_score);
+      ("pass", Json.Int d.Event.d_pass);
+      ("ts_us", Json.Float d.Event.d_time_us) ]
+
+(* ------------------------------------------------------------------ *)
+(* JSONL.                                                              *)
+
+let jsonl c =
+  let buf = Buffer.create 4096 in
+  let line fields =
+    Buffer.add_string buf (Json.to_string (Json.Assoc fields));
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (function
+      | Event.Span s -> line (span_fields s)
+      | Event.Decision d -> line (decision_fields d))
+    (Collector.events c);
+  List.iter
+    (fun (name, v) ->
+      line
+        [ ("type", Json.String "counter"); ("name", Json.String name);
+          ("value", Json.Float v) ])
+    (Counters.to_sorted_list (Collector.counters c));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace.                                                       *)
+
+let chrome c =
+  let pid_tid = [ ("pid", Json.Int 0); ("tid", Json.Int 0) ] in
+  let span_event (s : Event.span) =
+    Json.Assoc
+      ([ ("name", Json.String s.Event.sp_name); ("cat", Json.String "span");
+         ("ph", Json.String "X"); ("ts", Json.Float s.Event.sp_start_us);
+         ("dur", Json.Float s.Event.sp_dur_us) ]
+      @ pid_tid
+      @ [ ("args", Event.attrs_to_json s.Event.sp_attrs) ])
+  in
+  let decision_event (d : Event.decision) =
+    let name =
+      Printf.sprintf "%s %s: %s"
+        (Event.kind_name d.Event.d_kind)
+        (Event.verdict_name d.Event.d_verdict)
+        d.Event.d_subject
+    in
+    let args =
+      [ ("subject", Json.String d.Event.d_subject);
+        ("context", Json.String d.Event.d_context);
+        ("site", Json.Int d.Event.d_site);
+        ("score", Json.Float d.Event.d_score);
+        ("pass", Json.Int d.Event.d_pass) ]
+      @
+      match d.Event.d_verdict with
+      | Event.Accepted -> []
+      | Event.Rejected reason -> [ ("reason", Json.String reason) ]
+    in
+    Json.Assoc
+      ([ ("name", Json.String name); ("cat", Json.String "decision");
+         ("ph", Json.String "i"); ("s", Json.String "t");
+         ("ts", Json.Float d.Event.d_time_us) ]
+      @ pid_tid
+      @ [ ("args", Json.Assoc args) ])
+  in
+  let events = Collector.events c in
+  let end_ts =
+    List.fold_left
+      (fun acc -> function
+        | Event.Span s -> Float.max acc (s.Event.sp_start_us +. s.Event.sp_dur_us)
+        | Event.Decision d -> Float.max acc d.Event.d_time_us)
+      0.0 events
+  in
+  let counter_event (name, v) =
+    Json.Assoc
+      ([ ("name", Json.String name); ("cat", Json.String "counter");
+         ("ph", Json.String "C"); ("ts", Json.Float end_ts) ]
+      @ pid_tid
+      @ [ ("args", Json.Assoc [ ("value", Json.Float v) ]) ])
+  in
+  let trace_events =
+    List.map
+      (function
+        | Event.Span s -> span_event s
+        | Event.Decision d -> decision_event d)
+      events
+    @ List.map counter_event (Counters.to_sorted_list (Collector.counters c))
+  in
+  Json.Assoc
+    [ ("traceEvents", Json.List trace_events);
+      ("displayTimeUnit", Json.String "ms") ]
+
+let chrome_string c = Json.to_string (chrome c)
+
+let write_file ~path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)

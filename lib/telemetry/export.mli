@@ -1,0 +1,22 @@
+(** Telemetry sinks: JSON-lines event stream and Chrome-trace export.
+
+    The JSONL stream carries one JSON object per line — every span
+    (type ["span"]), every decision-journal entry (type ["decision"]),
+    then the final counter values (type ["counter"]).
+
+    The Chrome trace is the [chrome://tracing] / Perfetto JSON object
+    format: spans become complete ([ph = "X"]) events, decisions
+    become instant ([ph = "i"]) events, counters become one trailing
+    counter ([ph = "C"]) sample each.  Load the file at
+    [ui.perfetto.dev] or [chrome://tracing]. *)
+
+(** One JSON document per line, trailing newline included. *)
+val jsonl : Collector.t -> string
+
+(** The trace as a JSON value ([{"traceEvents": [...]}]). *)
+val chrome : Collector.t -> Json.t
+
+val chrome_string : Collector.t -> string
+
+(** Write [contents] to [path] (truncating). *)
+val write_file : path:string -> string -> unit

@@ -1,0 +1,34 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    The telemetry sinks need to *emit* JSON (JSONL event streams and
+    Chrome trace files) and the test suite needs to *parse* what was
+    emitted back, so both directions live here.  This is deliberately
+    not a general-purpose JSON library: numbers are [int] or [float],
+    strings are assumed UTF-8, and the parser accepts exactly the
+    subset the printer produces plus ordinary hand-written JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Parse one JSON document.  [Error msg] carries the byte offset of
+    the failure. *)
+val of_string : string -> (t, string) result
+
+(** [member key json] looks up [key] in an [Assoc]; [None] for missing
+    keys and non-objects. *)
+val member : string -> t -> t option
+
+(** Numeric accessor accepting both [Int] and [Float]. *)
+val to_number : t -> float option
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

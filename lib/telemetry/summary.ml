@@ -1,0 +1,81 @@
+(* Aggregated, human-readable view of one collector. *)
+
+type span_agg = {
+  mutable sa_count : int;
+  mutable sa_total_us : float;
+  mutable sa_max_us : float;
+}
+
+let aggregate_spans spans =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Event.span) ->
+      let agg =
+        match Hashtbl.find_opt tbl s.Event.sp_name with
+        | Some a -> a
+        | None ->
+          let a = { sa_count = 0; sa_total_us = 0.0; sa_max_us = 0.0 } in
+          Hashtbl.replace tbl s.Event.sp_name a;
+          a
+      in
+      agg.sa_count <- agg.sa_count + 1;
+      agg.sa_total_us <- agg.sa_total_us +. s.Event.sp_dur_us;
+      agg.sa_max_us <- Float.max agg.sa_max_us s.Event.sp_dur_us)
+    spans;
+  Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b.sa_total_us a.sa_total_us)
+
+(* Decisions tallied as (kind, verdict-or-reason) -> count. *)
+let aggregate_decisions decisions =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (d : Event.decision) ->
+      let label =
+        match d.Event.d_verdict with
+        | Event.Accepted -> "accepted"
+        | Event.Rejected reason -> "rejected:" ^ reason
+      in
+      let key = (Event.kind_name d.Event.d_kind, label) in
+      Hashtbl.replace tbl key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    decisions;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let pp_time ppf us =
+  if us >= 1e6 then Fmt.pf ppf "%8.3f s " (us /. 1e6)
+  else if us >= 1e3 then Fmt.pf ppf "%8.3f ms" (us /. 1e3)
+  else Fmt.pf ppf "%8.1f us" us
+
+let pp ppf c =
+  let spans = Collector.spans c in
+  let decisions = Collector.decisions c in
+  let counters = Counters.to_sorted_list (Collector.counters c) in
+  Fmt.pf ppf "== telemetry summary ==@.";
+  if spans <> [] then begin
+    Fmt.pf ppf "@.spans (by name, inclusive time):@.";
+    Fmt.pf ppf "  %-32s %7s %11s %11s@." "name" "count" "total" "max";
+    List.iter
+      (fun (name, agg) ->
+        Fmt.pf ppf "  %-32s %7d  %a  %a@." name agg.sa_count pp_time
+          agg.sa_total_us pp_time agg.sa_max_us)
+      (aggregate_spans spans)
+  end;
+  if decisions <> [] then begin
+    Fmt.pf ppf "@.decision journal (%d entries):@." (List.length decisions);
+    List.iter
+      (fun ((kind, label), n) -> Fmt.pf ppf "  %-16s %-28s %7d@." kind label n)
+      (aggregate_decisions decisions)
+  end;
+  if counters <> [] then begin
+    Fmt.pf ppf "@.counters:@.";
+    List.iter
+      (fun (name, v) ->
+        if Float.is_integer v && Float.abs v < 1e15 then
+          Fmt.pf ppf "  %-44s %12.0f@." name v
+        else Fmt.pf ppf "  %-44s %12.2f@." name v)
+      counters
+  end;
+  if spans = [] && decisions = [] && counters = [] then
+    Fmt.pf ppf "  (no events recorded)@."
+
+let to_string c = Fmt.str "%a" pp c

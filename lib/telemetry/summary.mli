@@ -1,0 +1,7 @@
+(** Human-readable telemetry summary: spans aggregated by name,
+    decision tallies by kind/verdict/reason, and all counters — the
+    [--telemetry-summary] output of [hloc]. *)
+
+val pp : Format.formatter -> Collector.t -> unit
+
+val to_string : Collector.t -> string

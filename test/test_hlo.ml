@@ -732,6 +732,19 @@ let test_report_totals () =
   r.Hlo.Report.clone_replacements <- 4;
   check_int "sum" 7 (Hlo.Report.total_operations r)
 
+let test_report_pp_zero_cost () =
+  (* With no cost baseline the growth percentage is meaningless; pp must
+     print "n/a" rather than a bogus percent (or a division by zero). *)
+  let r = Hlo.Report.create () in
+  let s = Fmt.str "%a" Hlo.Report.pp r in
+  Alcotest.(check bool) "n/a when cost_before = 0" true
+    (String.length s >= 5 && String.sub s (String.length s - 5) 5 = "(n/a)");
+  r.Hlo.Report.cost_before <- 200.0;
+  r.Hlo.Report.cost_after <- 150.0;
+  let s = Fmt.str "%a" Hlo.Report.pp r in
+  Alcotest.(check bool) "percent when cost_before > 0" true
+    (String.length s >= 6 && String.sub s (String.length s - 6) 6 = "(-25%)")
+
 let () =
   Alcotest.run "hlo"
     [ ( "budget",
@@ -782,4 +795,6 @@ let () =
             test_driver_staged_devirtualization;
           Alcotest.test_case "all workloads preserved" `Slow
             test_driver_all_workloads_preserved;
-          Alcotest.test_case "report totals" `Quick test_report_totals ] ) ]
+          Alcotest.test_case "report totals" `Quick test_report_totals;
+          Alcotest.test_case "report pp zero cost" `Quick
+            test_report_pp_zero_cost ] ) ]
