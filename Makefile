@@ -1,4 +1,4 @@
-.PHONY: all build check test bench ci clean
+.PHONY: all build check test bench bench-json ci clean
 
 all: build
 
@@ -13,6 +13,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable workload x jobs x wall-time matrix (BENCH_pr3.json).
+bench-json:
+	dune exec bench/bench_json.exe
 
 ci:
 	./ci.sh

@@ -1,0 +1,134 @@
+(* Machine-readable perf data points for the parallel driver:
+   workload x jobs x wall-time, plus summary-cache hit rates and a
+   warm-vs-cold cache comparison, written to BENCH_pr3.json.
+
+     dune exec bench/bench_json.exe            # writes ./BENCH_pr3.json
+     dune exec bench/bench_json.exe -- out.json
+
+   Wall-clock numbers depend on the machine — most importantly on how
+   many cores it actually has, so the core count is recorded in the
+   output.  On a single-core machine the jobs > 1 rows measure pool
+   overhead, not speedup; the determinism suite (test/test_parallel.ml)
+   is what holds the *results* identical everywhere. *)
+
+module J = Telemetry.Json
+
+let jobs_levels = [ 1; 2; 4; 8 ]
+let repetitions = 3  (* per cell; best-of to shed scheduler noise *)
+
+let input = Workloads.Suite.Train
+
+(* One full compile: front end (sharded) + HLO with its input-cleaning
+   scalar-optimizer run (sharded).  Profile is precomputed by the
+   caller — training is interpreter-bound and identical at any jobs. *)
+let compile_once ~profile sources =
+  let program, _ = Minic.Compile.compile_program sources in
+  ignore (Hlo.Driver.run ~profile program : Hlo.Driver.result)
+
+let time_best f =
+  let best = ref infinity in
+  for _ = 1 to repetitions do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let hit_rate (s : Hlo.Summary_cache.stats) =
+  let total = s.Hlo.Summary_cache.hits + s.Hlo.Summary_cache.misses in
+  if total = 0 then 0.0
+  else float_of_int s.Hlo.Summary_cache.hits /. float_of_int total
+
+(* Measure one workload at one jobs level.  The summary cache is
+   cleared first so every cell sees the same cold-start work and the
+   recorded hit rate reflects sharing *within* one compile (clones and
+   repeated per-pass queries), not leftovers from the previous cell. *)
+let measure_cell ~profile ~sources jobs =
+  Parallel.Pool.set_jobs jobs;
+  Hlo.Summary_cache.clear ();
+  let wall = time_best (fun () -> compile_once ~profile sources) in
+  let stats = Hlo.Summary_cache.stats () in
+  Parallel.Pool.set_jobs 1;
+  ( wall,
+    J.Assoc
+      [ ("jobs", J.Int jobs); ("wall_s", J.Float wall);
+        ("cache_hits", J.Int stats.Hlo.Summary_cache.hits);
+        ("cache_misses", J.Int stats.Hlo.Summary_cache.misses);
+        ("cache_hit_rate", J.Float (hit_rate stats)) ] )
+
+let measure_workload (b : Workloads.Suite.benchmark) =
+  let name = b.Workloads.Suite.b_name in
+  let sources = Workloads.Suite.sources b ~input in
+  let program, _ = Minic.Compile.compile_program sources in
+  let profile = (Interp.train program).Interp.profile in
+  let cells = List.map (measure_cell ~profile ~sources) jobs_levels in
+  let wall_at j =
+    List.nth (List.map fst cells)
+      (Option.get (List.find_index (Int.equal j) jobs_levels))
+  in
+  let speedup_at_4 = wall_at 1 /. wall_at 4 in
+  Fmt.pr "%-14s jobs1=%.3fs jobs4=%.3fs speedup@4=%.2fx@." name (wall_at 1)
+    (wall_at 4) speedup_at_4;
+  ( wall_at 1,
+    wall_at 4,
+    J.Assoc
+      [ ("name", J.String name);
+        ("runs", J.List (List.map snd cells));
+        ("speedup_at_4", J.Float speedup_at_4) ] )
+
+(* Warm-vs-cold: recompile 022.li with the cache left warm from an
+   identical compile; the second run's hit rate is the cross-run reuse
+   the on-disk store (hloc --summary-cache) buys. *)
+let measure_warm_cache () =
+  let b = Workloads.Suite.find "022.li" in
+  let sources = Workloads.Suite.sources b ~input in
+  let program, _ = Minic.Compile.compile_program sources in
+  let profile = (Interp.train program).Interp.profile in
+  Parallel.Pool.set_jobs 1;
+  Hlo.Summary_cache.clear ();
+  let t0 = Unix.gettimeofday () in
+  compile_once ~profile sources;
+  let cold = Unix.gettimeofday () -. t0 in
+  Hlo.Summary_cache.reset_stats ();
+  let t1 = Unix.gettimeofday () in
+  compile_once ~profile sources;
+  let warm = Unix.gettimeofday () -. t1 in
+  let stats = Hlo.Summary_cache.stats () in
+  Fmt.pr "warm cache (022.li): cold=%.3fs warm=%.3fs hit-rate=%.2f@." cold warm
+    (hit_rate stats);
+  J.Assoc
+    [ ("workload", J.String "022.li"); ("cold_wall_s", J.Float cold);
+      ("warm_wall_s", J.Float warm);
+      ("warm_hit_rate", J.Float (hit_rate stats)) ]
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pr3.json" in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "BENCH_pr3: %d workloads x jobs %s on %d core(s)@."
+    (List.length Workloads.Suite.all)
+    (String.concat "/" (List.map string_of_int jobs_levels))
+    cores;
+  let rows = List.map measure_workload Workloads.Suite.all in
+  let total1 = List.fold_left (fun a (w1, _, _) -> a +. w1) 0.0 rows in
+  let total4 = List.fold_left (fun a (_, w4, _) -> a +. w4) 0.0 rows in
+  let warm = measure_warm_cache () in
+  let doc =
+    J.Assoc
+      [ ("bench", J.String "pr3-parallel-driver");
+        ("input", J.String "train");
+        ("cores", J.Int cores);
+        ("repetitions", J.Int repetitions);
+        ("jobs_levels", J.List (List.map (fun j -> J.Int j) jobs_levels));
+        ("workloads", J.List (List.map (fun (_, _, j) -> j) rows));
+        ( "total",
+          J.Assoc
+            [ ("wall_s_jobs1", J.Float total1);
+              ("wall_s_jobs4", J.Float total4);
+              ("speedup_at_4", J.Float (total1 /. total4)) ] );
+        ("warm_cache", warm) ]
+  in
+  Telemetry.Export.write_file ~path:out (J.to_string doc);
+  Fmt.pr "total: jobs1=%.3fs jobs4=%.3fs speedup@4=%.2fx@." total1 total4
+    (total1 /. total4);
+  Fmt.pr "wrote %s@." out

@@ -23,7 +23,29 @@ type trace_format = Trace_chrome | Trace_jsonl
 
 let compile_and_run files scope budget passes no_inline no_clone max_ops
     dump_ir dump_asm dump_profile stats runner main trace trace_format
-    telemetry_summary =
+    telemetry_summary jobs summary_cache =
+  (* Parallelism: [--jobs N] overrides the HLO_JOBS environment
+     default.  Results are bit-identical at any degree (the pool's
+     maps are order-preserving); only wall-clock changes. *)
+  if jobs > 0 then Parallel.Pool.set_jobs jobs;
+  (* Summary cache: warm the memo store from disk before compiling and
+     persist it afterwards — including on a failed compile, since
+     entries computed before the failure are still valid. *)
+  (match summary_cache with
+  | None -> ()
+  | Some path ->
+    (match Hlo.Summary_cache.load path with
+    | Ok n -> if stats && n > 0 then Fmt.pr "[cache] loaded %d summaries@." n
+    | Error msg -> Fmt.epr "hloc: ignoring summary cache: %s@." msg));
+  let save_summary_cache () =
+    match summary_cache with
+    | None -> ()
+    | Some path ->
+      (match Hlo.Summary_cache.save path with
+      | Ok () -> ()
+      | Error msg -> Fmt.epr "hloc: cannot write summary cache: %s@." msg)
+  in
+  Fun.protect ~finally:save_summary_cache @@ fun () ->
   (* Telemetry: install a collector when any observability flag is on;
      export/summarize even if the compile or the run traps. *)
   let collector =
@@ -225,6 +247,22 @@ let telemetry_summary =
            ~doc:"Print a human-readable summary of phase timings, \
                  counters and optimizer decisions.")
 
+let jobs =
+  Arg.(value & opt int 0
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Compile with $(docv) parallel domains (front end and \
+                 scalar optimizer).  The output is bit-identical at any \
+                 $(docv).  0 (the default) means: use the HLO_JOBS \
+                 environment variable, else 1.")
+
+let summary_cache =
+  Arg.(value & opt (some string) None
+       & info [ "summary-cache" ] ~docv:"PATH"
+           ~doc:"Persist the content-hashed routine summary cache to \
+                 $(docv): load it before compiling (if it exists) and \
+                 save it back on exit, so repeated compiles of \
+                 overlapping code skip recomputing summaries.")
+
 let cmd =
   let doc = "profile-guided cross-module inlining and cloning for MiniC" in
   let info = Cmd.info "hloc" ~version:"1.0" ~doc in
@@ -232,6 +270,7 @@ let cmd =
     Term.(ret
             (const compile_and_run $ files $ scope $ budget $ passes $ no_inline
             $ no_clone $ max_ops $ dump_ir $ dump_asm $ dump_profile $ stats
-            $ runner $ entry_name $ trace $ trace_format $ telemetry_summary))
+            $ runner $ entry_name $ trace $ trace_format $ telemetry_summary
+            $ jobs $ summary_cache))
 
 let () = exit (Cmd.eval cmd)

@@ -15,12 +15,40 @@ dune build @check
 echo "== dune build =="
 dune build
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (HLO_JOBS=1) =="
+HLO_JOBS=1 dune runtest
 
-echo "== telemetry smoke run (hloc --trace) =="
+# Same suite again with a 4-domain pool.  Every test executable and
+# every CLI golden rule picks the degree up from the environment, so a
+# scheduling-dependent divergence shows up as an ordinary test failure
+# or a golden-output diff.
+echo "== dune runtest (HLO_JOBS=4) =="
+HLO_JOBS=4 dune runtest --force
+
+echo "== parallel determinism smoke (hloc --jobs) =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+for j in 1 4; do
+  dune exec bin/hloc.exe -- \
+    examples/telemetry_util.mc examples/telemetry_main.mc \
+    --dump-ir --stats --run interp > "$tmp/ir-jobs$j.txt" "--jobs=$j"
+done
+diff -u "$tmp/ir-jobs1.txt" "$tmp/ir-jobs4.txt"
+echo "jobs 1 and jobs 4 outputs identical"
+
+echo "== summary cache smoke (hloc --summary-cache) =="
+dune exec bin/hloc.exe -- \
+  examples/telemetry_util.mc examples/telemetry_main.mc \
+  --dump-ir --stats --summary-cache "$tmp/summaries.cache" > "$tmp/cold.txt"
+test -s "$tmp/summaries.cache"
+dune exec bin/hloc.exe -- \
+  examples/telemetry_util.mc examples/telemetry_main.mc \
+  --dump-ir --stats --summary-cache "$tmp/summaries.cache" > "$tmp/warm.txt"
+grep -q '\[cache\] loaded' "$tmp/warm.txt"
+diff -u "$tmp/cold.txt" <(grep -v '^\[cache\]' "$tmp/warm.txt")
+echo "warm-cache output identical to cold"
+
+echo "== telemetry smoke run (hloc --trace) =="
 dune exec bin/hloc.exe -- \
   examples/telemetry_util.mc examples/telemetry_main.mc \
   --trace "$tmp/trace.json" --trace-format chrome --telemetry-summary \

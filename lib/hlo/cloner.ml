@@ -273,7 +273,9 @@ let run_pass (st : State.t) ~(pass : int) : string list =
                  | None -> false)
             then 0.0
             else
-              Ucode.Size.routine_cost (U.find_routine_exn st.State.program g.g_callee)
+              Ucode.Size.cost_of_size
+                (Summary_cache.size
+                   (U.find_routine_exn st.State.program g.g_callee))
           in
           if Budget.can_afford st.State.budget ~pass cost then begin
             Budget.charge st.State.budget cost;

@@ -158,5 +158,9 @@ let run ?(config = Config.default) ?(profile = Ucode.Profile.empty)
   done;
   st.State.report.Report.cost_after <- Ucode.Size.program_cost st.State.program;
   T.gauge "hlo.budget.spent" st.State.budget.Budget.spent;
+  let cs = Summary_cache.stats () in
+  T.gauge "hlo.summary_cache.hits" (float_of_int cs.Summary_cache.hits);
+  T.gauge "hlo.summary_cache.misses" (float_of_int cs.Summary_cache.misses);
+  T.gauge "hlo.summary_cache.entries" (float_of_int cs.Summary_cache.entries);
   { program = st.State.program; profile = st.State.profile;
     report = st.State.report }

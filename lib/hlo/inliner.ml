@@ -94,7 +94,7 @@ let benefit_of (st : State.t) (caller : U.routine) (callee : U.routine)
   in
   (* Small callees amortize their cost faster; bias slightly toward
      them so ties break sensibly. *)
-  let size_bias = 1.0 +. (8.0 /. float_of_int (8 + Ucode.Size.routine_size callee)) in
+  let size_bias = 1.0 +. (8.0 /. float_of_int (8 + Summary_cache.size callee)) in
   freq *. cold_penalty *. size_bias
 
 (* ------------------------------------------------------------------ *)
@@ -238,7 +238,7 @@ let run_pass (st : State.t) ~(pass : int) : string list =
               { i_caller = caller.U.r_name; i_callee = callee.U.r_name;
                 i_site = e.CG.e_site; i_block = e.CG.e_block;
                 i_benefit = benefit_of st caller callee e;
-                i_callee_size = Ucode.Size.routine_size callee })
+                i_callee_size = Summary_cache.size callee })
         cg.CG.cg_edges
     in
     let ranked =
@@ -253,7 +253,7 @@ let run_pass (st : State.t) ~(pass : int) : string list =
     let est_size = Hashtbl.create 64 in
     List.iter
       (fun (r : U.routine) ->
-        Hashtbl.replace est_size r.U.r_name (Ucode.Size.routine_size r))
+        Hashtbl.replace est_size r.U.r_name (Summary_cache.size r))
       p.U.p_routines;
     let accepted =
       List.filter

@@ -12,7 +12,11 @@
       paper's, considers caller-supplied constants (including constant
       routine handles).
     - Frequency estimates for call sites and blocks, shared by the
-      cloner's and inliner's benefit calculations. *)
+      cloner's and inliner's benefit calculations.
+
+    Body-only facts (the cycle sets behind the loop heuristic) come
+    from [Summary_cache], keyed by routine-body hash, so they are
+    computed once per distinct body rather than once per query. *)
 
 module U = Ucode.Types
 module CP = Opt.Constprop
@@ -22,58 +26,8 @@ module CP = Opt.Constprop
 
 (** Labels of blocks that are part of some cycle of [r]'s CFG
     (including self-loops).  Used as a stand-in for execution frequency
-    when no profile is available. *)
-let blocks_in_cycles (r : U.routine) : U.Int_set.t =
-  let succs = Opt.Cfg.successors r in
-  (* Tarjan over block labels. *)
-  let index = Hashtbl.create 16 in
-  let lowlink = Hashtbl.create 16 in
-  let on_stack = Hashtbl.create 16 in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let result = ref U.Int_set.empty in
-  let next l = Option.value ~default:[] (U.Int_map.find_opt l succs) in
-  let rec strongconnect v =
-    Hashtbl.replace index v !counter;
-    Hashtbl.replace lowlink v !counter;
-    incr counter;
-    stack := v :: !stack;
-    Hashtbl.replace on_stack v ();
-    List.iter
-      (fun w ->
-        if not (Hashtbl.mem index w) then begin
-          strongconnect w;
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
-        end
-        else if Hashtbl.mem on_stack w then
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
-      (next v);
-    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
-      let rec pop acc =
-        match !stack with
-        | [] -> acc
-        | w :: rest ->
-          stack := rest;
-          Hashtbl.remove on_stack w;
-          if w = v then w :: acc else pop (w :: acc)
-      in
-      let comp = pop [] in
-      let cyclic =
-        match comp with
-        | [ single ] -> List.mem single (next single)  (* self-loop *)
-        | _ -> true
-      in
-      if cyclic then
-        result := List.fold_left (fun s l -> U.Int_set.add l s) !result comp
-    end
-  in
-  List.iter
-    (fun (b : U.block) ->
-      if not (Hashtbl.mem index b.U.b_id) then strongconnect b.U.b_id)
-    r.U.r_blocks;
-  !result
+    when no profile is available.  Memoized by body hash. *)
+let blocks_in_cycles (r : U.routine) : U.Int_set.t = Summary_cache.cycles r
 
 (* ------------------------------------------------------------------ *)
 (* Frequencies.                                                        *)
@@ -151,9 +105,25 @@ let param_usage ~(config : Config.t) ~(profile : Ucode.Profile.t)
     | Some i -> weights.(i) <- weights.(i) +. w
     | None -> ()
   in
+  (* One weight source per routine, resolved up front: either the
+     profile or a single cycle-set lookup — not a per-block query. *)
+  let relative_weight : U.label -> float =
+    if config.Config.use_profile && not (Ucode.Profile.is_empty profile) then begin
+      let entry = Ucode.Profile.entry_count profile r in
+      fun label ->
+        if entry <= 0.0 then 0.0
+        else
+          Ucode.Profile.block_count profile ~routine:r.U.r_name ~block:label
+          /. entry
+    end
+    else begin
+      let cycles = blocks_in_cycles r in
+      fun label -> if U.Int_set.mem label cycles then loop_weight else 1.0
+    end
+  in
   List.iter
     (fun (b : U.block) ->
-      let rel = block_relative_weight ~config ~profile r b.U.b_id in
+      let rel = relative_weight b.U.b_id in
       List.iter
         (fun i ->
           match i with

@@ -1,0 +1,214 @@
+(** Content-hashed memo store for per-routine analyses.
+
+    The paper's HLO writes per-module *isom* files so cross-module
+    summaries need not be recomputed on every compile.  This module is
+    that idea upgraded to a memo store: per-routine facts that depend
+    only on the routine's *body* — its static size and the set of
+    blocks on CFG cycles — are keyed by [Ucode.Hash.routine_body_hash]
+    and reused across passes, across clones (a clone's body hashes like
+    its original until specialization rewrites it), and, via
+    [load]/[save], across `hloc` runs.
+
+    Determinism is by construction: a cached value is byte-identical to
+    what recomputation would produce, because the key covers everything
+    the computation reads.  The store is domain-safe (one mutex) so
+    parallel pipeline shards may consult it, and process-global so the
+    heuristics can reach it without threading a handle through every
+    signature. *)
+
+module U = Ucode.Types
+
+type entry = {
+  e_size : int;                (** [Ucode.Size.routine_size] *)
+  e_cycles : U.Int_set.t;      (** labels of blocks on a CFG cycle *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;    (** resident entries, including loaded ones *)
+  loaded : int;     (** entries brought in by [load] *)
+}
+
+let lock = Mutex.create ()
+let table : (Ucode.Hash.t, entry) Hashtbl.t = Hashtbl.create 256
+let hits = ref 0
+let misses = ref 0
+let loaded = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* ------------------------------------------------------------------ *)
+(* The analyses being memoized.                                        *)
+
+(** Labels of blocks that are part of some cycle of [r]'s CFG
+    (including self-loops).  Tarjan over block labels. *)
+let compute_cycles (r : U.routine) : U.Int_set.t =
+  let succs = Opt.Cfg.successors r in
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref U.Int_set.empty in
+  let next l = Option.value ~default:[] (U.Int_map.find_opt l succs) in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (next v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      let comp = pop [] in
+      let cyclic =
+        match comp with
+        | [ single ] -> List.mem single (next single)  (* self-loop *)
+        | _ -> true
+      in
+      if cyclic then
+        result := List.fold_left (fun s l -> U.Int_set.add l s) !result comp
+    end
+  in
+  List.iter
+    (fun (b : U.block) ->
+      if not (Hashtbl.mem index b.U.b_id) then strongconnect b.U.b_id)
+    r.U.r_blocks;
+  !result
+
+let compute_entry (r : U.routine) : entry =
+  { e_size = Ucode.Size.routine_size r; e_cycles = compute_cycles r }
+
+(* ------------------------------------------------------------------ *)
+(* The memo store.                                                     *)
+
+let find (r : U.routine) : entry =
+  let key = Ucode.Hash.routine_body_hash r in
+  match locked (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some e -> incr hits; Some e
+      | None -> incr misses; None)
+  with
+  | Some e -> e
+  | None ->
+    (* Compute outside the lock: Tarjan on a big routine must not
+       serialize other domains' lookups.  A racing domain may compute
+       the same entry; both results are identical, either insert wins. *)
+    let e = compute_entry r in
+    locked (fun () -> Hashtbl.replace table key e);
+    e
+
+let size r = (find r).e_size
+let cycles r = (find r).e_cycles
+
+let stats () =
+  locked (fun () ->
+      { hits = !hits; misses = !misses; entries = Hashtbl.length table;
+        loaded = !loaded })
+
+let reset_stats () =
+  locked (fun () -> hits := 0; misses := 0; loaded := 0)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table; hits := 0; misses := 0; loaded := 0)
+
+(* ------------------------------------------------------------------ *)
+(* On-disk store.                                                      *)
+
+(* One header line, then one line per entry:
+     <hash> <size> <ncycles> <label> ... <label>
+   Entries are written sorted by hash so the file is a deterministic
+   function of the store's contents. *)
+
+let disk_magic = "hloc-summary-cache 1"
+
+let load path =
+  if not (Sys.file_exists path) then Ok 0
+  else
+    try
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      if In_channel.input_line ic <> Some disk_magic then
+        Error (path ^ ": not a summary cache (bad header)")
+      else begin
+        let n = ref 0 in
+        let bad = ref None in
+        (try
+           while !bad = None do
+             match In_channel.input_line ic with
+             | None -> raise Exit
+             | Some "" -> ()
+             | Some line ->
+               (match String.split_on_char ' ' line with
+               | hash :: size :: ncycles :: labels
+                 when String.length hash = 32 ->
+                 (match
+                    ( int_of_string_opt size,
+                      int_of_string_opt ncycles,
+                      List.filter_map int_of_string_opt labels )
+                  with
+                 | Some size, Some nc, labels when List.length labels = nc ->
+                   let e_cycles =
+                     List.fold_left
+                       (fun s l -> U.Int_set.add l s)
+                       U.Int_set.empty labels
+                   in
+                   locked (fun () ->
+                       if not (Hashtbl.mem table hash) then begin
+                         Hashtbl.replace table hash { e_size = size; e_cycles };
+                         incr loaded;
+                         incr n
+                       end)
+                 | _ -> bad := Some line)
+               | _ -> bad := Some line)
+           done
+         with Exit -> ());
+        match !bad with
+        | Some line -> Error (path ^ ": malformed entry: " ^ line)
+        | None -> Ok !n
+      end
+    with Sys_error msg -> Error msg
+
+let save path =
+  try
+    let rows =
+      locked (fun () ->
+          Hashtbl.fold (fun h e acc -> (h, e) :: acc) table [])
+    in
+    let rows =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+    in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+    output_string oc disk_magic;
+    output_char oc '\n';
+    List.iter
+      (fun (h, e) ->
+        let labels = U.Int_set.elements e.e_cycles in
+        Printf.fprintf oc "%s %d %d%s\n" h e.e_size (List.length labels)
+          (String.concat ""
+             (List.map (fun l -> " " ^ string_of_int l) labels)))
+      rows;
+    Ok ()
+  with Sys_error msg -> Error msg

@@ -11,12 +11,22 @@ let source ~module_name text = { src_module = module_name; src_text = text }
 
 (** Compile and link a multi-module program.  Raises
     {!Diag.Compile_error} on the first batch of errors (warnings are
-    returned alongside the program). *)
+    returned alongside the program).
+
+    Per-module lexing/parsing and lowering are independent, so both
+    stages are sharded across the ambient domain pool.  The maps are
+    order-preserving and raise the first failure *by module position*,
+    so diagnostics, module order and the linked program are identical
+    to a sequential compile at any [--jobs]. *)
 let compile_program ?(main = "main") (sources : source list) :
     Ucode.Types.program * Diag.t list =
   let units =
-    List.map
+    Parallel.Pool.map_list
       (fun s ->
+        Telemetry.Collector.with_span "minic.parse" @@ fun () ->
+        if Telemetry.Collector.enabled () then
+          Telemetry.Collector.annotate "module"
+            (Telemetry.Event.Str s.src_module);
         try
           Parser.parse ~module_name:s.src_module ~file:(s.src_module ^ ".mc")
             s.src_text
@@ -29,8 +39,12 @@ let compile_program ?(main = "main") (sources : source list) :
   Diag.fail_on_errors diags;
   let all_exports = List.map Sema.exports_of_unit units in
   let modules =
-    List.map
+    Parallel.Pool.map_list
       (fun (u : Ast.unit_) ->
+        Telemetry.Collector.with_span "minic.lower" @@ fun () ->
+        if Telemetry.Collector.enabled () then
+          Telemetry.Collector.annotate "module"
+            (Telemetry.Event.Str u.Ast.u_name);
         let ext =
           Sema.combine_exts
             (List.filteri

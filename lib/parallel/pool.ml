@@ -1,0 +1,191 @@
+(** A fixed-size pool of OCaml 5 domains with a deterministic parallel
+    map.
+
+    The contract that makes the pool safe to use inside a compiler is
+    *determinism*: [map_array pool f xs] returns exactly what
+    [Array.map f xs] returns — every result lands in the slot of its
+    input, whatever order the items were executed in, and the first
+    failing item (by index, not by completion time) is the one whose
+    exception is re-raised.  Scheduling order (the [priority] argument,
+    used by the optimizer to walk call-graph SCCs bottom-up) affects
+    wall-clock behavior only, never results.
+
+    A pool with [jobs = 1] spawns no domains and runs everything
+    inline, so the sequential path is byte-for-byte the code that ran
+    before the pool existed.  Calls from inside a worker run inline
+    too, which makes nested maps (a batched compile whose per-workload
+    compiles themselves shard their routines) deadlock-free. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set in each worker so re-entrant maps degrade to sequential
+   execution instead of deadlocking on the shared queue. *)
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+let worker (t : t) () =
+  Domain.DLS.set in_worker_key true;
+  let rec loop () =
+    Mutex.lock t.lock;
+    while (not t.stop) && Queue.is_empty t.queue do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.lock (* stopping *)
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    { jobs; queue = Queue.create (); lock = Mutex.create ();
+      nonempty = Condition.create (); stop = false; workers = [] }
+  in
+  (* The caller participates in every map, so [jobs] total executors
+     means [jobs - 1] spawned domains. *)
+  if jobs > 1 then
+    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let map_array_in (t : t) ?priority (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if t.jobs <= 1 || n = 1 || in_worker () then Array.map f xs
+  else begin
+    let results : 'b option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let remaining = Atomic.make n in
+    let all_done = Condition.create () in
+    let run_item i =
+      (match f xs.(i) with
+      | y -> results.(i) <- Some y
+      | exception e -> errors.(i) <- Some e);
+      (* The last finisher wakes the caller; the broadcast is taken
+         under the pool lock so the caller cannot miss it between its
+         check of [remaining] and its wait. *)
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock t.lock;
+        Condition.broadcast all_done;
+        Mutex.unlock t.lock
+      end
+    in
+    (* Enqueue in scheduling order; results still land by index. *)
+    let order =
+      match priority with
+      | None -> Array.init n Fun.id
+      | Some pr ->
+        if Array.length pr <> n then
+          invalid_arg "Pool.map_array: priority length mismatch";
+        let idx = Array.init n Fun.id in
+        Array.stable_sort (fun a b -> compare pr.(a) pr.(b)) idx;
+        idx
+    in
+    Mutex.lock t.lock;
+    Array.iter (fun i -> Queue.push (fun () -> run_item i) t.queue) order;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    (* The caller works through the queue alongside the workers... *)
+    let rec drain () =
+      Mutex.lock t.lock;
+      let task =
+        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+      in
+      Mutex.unlock t.lock;
+      match task with
+      | Some task -> task (); drain ()
+      | None -> ()
+    in
+    drain ();
+    (* ...then waits for stragglers still executing in workers. *)
+    Mutex.lock t.lock;
+    while Atomic.get remaining > 0 do
+      Condition.wait all_done t.lock
+    done;
+    Mutex.unlock t.lock;
+    Array.iteri
+      (fun i -> function Some e -> (ignore i; raise e) | None -> ())
+      errors;
+    Array.map (function Some y -> y | None -> assert false) results
+  end
+
+let map_list_in t ?priority f xs =
+  Array.to_list (map_array_in t ?priority f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* The ambient pool.                                                   *)
+
+(* Compilation entry points (the front end, the scalar optimizer) take
+   no pool argument; they use the process-wide pool configured here.
+   The default degree comes from the HLO_JOBS environment variable so
+   an unmodified test binary or dune rule can be re-run parallel
+   (`HLO_JOBS=4 dune runtest --force`) — the determinism suite holds
+   the results to be identical either way. *)
+
+let env_default_jobs () =
+  match Sys.getenv_opt "HLO_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+  | None -> 1
+
+let requested_jobs = ref (env_default_jobs ())
+let current : t option ref = ref None
+
+let shutdown_current () =
+  match !current with
+  | Some p -> current := None; shutdown p
+  | None -> ()
+
+(* Worker domains still blocked on the queue at process exit would die
+   with the runtime mid-wait; drain them instead. *)
+let () = at_exit shutdown_current
+
+let get_jobs () = !requested_jobs
+
+let set_jobs n =
+  let n = max 1 n in
+  if n <> !requested_jobs then begin
+    shutdown_current ();
+    requested_jobs := n
+  end
+
+let the () =
+  match !current with
+  | Some p -> p
+  | None ->
+    let p = create ~jobs:!requested_jobs in
+    current := Some p;
+    p
+
+let map_array ?priority f xs =
+  if !requested_jobs <= 1 then Array.map f xs
+  else map_array_in (the ()) ?priority f xs
+
+let map_list ?priority f xs =
+  if !requested_jobs <= 1 then List.map f xs
+  else map_list_in (the ()) ?priority f xs

@@ -1,0 +1,48 @@
+(** A fixed-size pool of OCaml 5 domains with a *deterministic*
+    parallel map: results land by input index, the first failing item
+    (by index) is the one re-raised, and scheduling order is a
+    performance hint only.  With one job, or when called from inside a
+    pool worker, the map runs inline — nested maps cannot deadlock and
+    the sequential path is exactly [Array.map]. *)
+
+type t
+
+(** [create ~jobs] spawns [jobs - 1] worker domains (the caller of a
+    map participates).  [jobs <= 1] spawns nothing. *)
+val create : jobs:int -> t
+
+val jobs : t -> int
+
+(** Order-preserving parallel map.  [priority.(i)] (lower runs
+    earlier) biases scheduling — e.g. bottom-up over call-graph SCCs —
+    without affecting results. *)
+val map_array_in : t -> ?priority:int array -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list_in : t -> ?priority:int array -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Stop the workers and join them.  Idempotent. *)
+val shutdown : t -> unit
+
+(** True inside a pool worker (where maps run inline). *)
+val in_worker : unit -> bool
+
+(** {1 The ambient pool}
+
+    The front end and the scalar optimizer use a process-wide pool so
+    compilation entry points need no pool argument.  Its degree
+    defaults to the [HLO_JOBS] environment variable (else 1) and is
+    overridden by [set_jobs] (e.g. from [hloc --jobs]). *)
+
+(** Set the ambient parallelism degree.  Tears down a live pool of a
+    different size; the next map builds a fresh one lazily. *)
+val set_jobs : int -> unit
+
+val get_jobs : unit -> int
+
+(** The ambient pool, created on first use. *)
+val the : unit -> t
+
+(** [map_array f xs] on the ambient pool (inline when jobs = 1). *)
+val map_array : ?priority:int array -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : ?priority:int array -> ('a -> 'b) -> 'a list -> 'b list

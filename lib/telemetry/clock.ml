@@ -1,16 +1,23 @@
 (* Microsecond clock, strictly increasing.  Wall-clock readings that
    repeat (or step backwards) are bumped by 10ns, so every event gets a
-   distinct, ordered timestamp. *)
+   distinct, ordered timestamp.  The floor is shared by all domains, so
+   the bump runs under a lock — timestamps stay globally unique when
+   spans close concurrently. *)
 
+let lock = Mutex.create ()
 let epoch = ref (Unix.gettimeofday ())
 let floor_us = ref 0.0
 
 let now_us () =
   let raw = (Unix.gettimeofday () -. !epoch) *. 1e6 in
+  Mutex.lock lock;
   let v = if raw > !floor_us then raw else !floor_us +. 0.01 in
   floor_us := v;
+  Mutex.unlock lock;
   v
 
 let reset () =
+  Mutex.lock lock;
   epoch := Unix.gettimeofday ();
-  floor_us := 0.0
+  floor_us := 0.0;
+  Mutex.unlock lock

@@ -9,8 +9,11 @@
     cost of every event is one match on a [ref], verified by the bench
     guard in [bench/main.ml].
 
-    Single-threaded by design (the compiler pipeline is sequential);
-    installing a collector from concurrent domains is unsupported. *)
+    Domain-safe: the event list and counters are mutex-guarded, and
+    each domain keeps its own open-span stack (a span opened on one
+    domain closes on that domain), so parallel compilation shards can
+    emit spans and counters concurrently without losing events.
+    [install]/[uninstall] are expected from the main domain only. *)
 
 type t
 

@@ -26,6 +26,7 @@ type span = {
   sp_start_us : float;
   sp_dur_us : float;
   sp_depth : int;  (** 0 = top level; children are parent depth + 1 *)
+  sp_domain : int;  (** id of the domain that ran the span; 0 = main *)
   sp_attrs : attrs;
 }
 

@@ -3,6 +3,7 @@ let span_fields (s : Event.span) =
     ("ts_us", Json.Float s.Event.sp_start_us);
     ("dur_us", Json.Float s.Event.sp_dur_us);
     ("depth", Json.Int s.Event.sp_depth);
+    ("domain", Json.Int s.Event.sp_domain);
     ("attrs", Event.attrs_to_json s.Event.sp_attrs) ]
 
 let decision_fields (d : Event.decision) =
@@ -45,13 +46,15 @@ let jsonl c =
 (* Chrome trace.                                                       *)
 
 let chrome c =
+  (* Chrome/Perfetto lay events out on one track per (pid, tid); using
+     the domain id as tid puts each compilation shard on its own row. *)
   let pid_tid = [ ("pid", Json.Int 0); ("tid", Json.Int 0) ] in
   let span_event (s : Event.span) =
     Json.Assoc
       ([ ("name", Json.String s.Event.sp_name); ("cat", Json.String "span");
          ("ph", Json.String "X"); ("ts", Json.Float s.Event.sp_start_us);
-         ("dur", Json.Float s.Event.sp_dur_us) ]
-      @ pid_tid
+         ("dur", Json.Float s.Event.sp_dur_us);
+         ("pid", Json.Int 0); ("tid", Json.Int s.Event.sp_domain) ]
       @ [ ("args", Event.attrs_to_json s.Event.sp_attrs) ])
   in
   let decision_event (d : Event.decision) =

@@ -1,0 +1,18 @@
+(** Content hashing of routine bodies for the summary cache.
+
+    The hash covers what a routine computes — params, attributes,
+    blocks, instructions, terminators — and excludes its identity:
+    name, module, origin, linkage, and call-site ids.  Clones therefore
+    hash like their originals, and hashes are stable across `hloc`
+    runs even though site ids are assigned in program order. *)
+
+type t = string
+(** An MD5 hex digest (32 lowercase hex characters). *)
+
+val routine_body_hash : Types.routine -> t
+
+(** The canonical serialization the hash is computed over (exposed for
+    tests; injective by construction — tags plus explicit lengths). *)
+val routine_body_bytes : Types.routine -> string
+
+val pp : Format.formatter -> t -> unit

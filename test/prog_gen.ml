@@ -1,0 +1,256 @@
+(* Random-program generation shared by the property suites
+   (test_properties.ml) and the parallel determinism suite
+   (test_parallel.ml).
+
+   The central tool is a generator of random — but always terminating
+   and trap-free by construction — multi-module MiniC programs that
+   print observable values, plus the outcome helpers used to compare
+   engines differentially. *)
+
+module U = Ucode.Types
+module Gen = QCheck.Gen
+
+(* ------------------------------------------------------------------ *)
+(* Random program generator.                                           *)
+
+(* State threaded through generation: a name supply. *)
+type genv = {
+  mutable next_local : int;
+  funcs_below : (string * int) list;  (* callable (name, arity) *)
+  mutable locals : string list;       (* in scope *)
+}
+
+(* Int64.min_int has no literal form (the lexer sees MINUS applied to
+   an out-of-range magnitude, like C); spell it arithmetically. *)
+let const_to_string k =
+  if Int64.equal k Int64.min_int then "(0 - 9223372036854775807 - 1)"
+  else Printf.sprintf "%Ld" k
+
+let small_const =
+  Gen.oneof
+    [ Gen.map Int64.of_int (Gen.int_range (-100) 100);
+      Gen.oneofl [ 0L; 1L; 2L; 7L; 255L; 65535L; -1L; Int64.max_int;
+                   Int64.min_int ] ]
+
+let rec gen_expr env depth st =
+  let atom =
+    Gen.oneof
+      ([ Gen.map const_to_string small_const ]
+      @ (if env.locals = [] then [] else [ Gen.oneofl env.locals ])
+      @ [ Gen.return "gs"; Gen.return "gt" ])
+  in
+  if depth <= 0 then atom st
+  else
+    match Gen.int_range 0 9 st with
+    | 0 | 1 ->
+      Printf.sprintf "(%s %s %s)"
+        (gen_expr env (depth - 1) st)
+        (Gen.oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] st)
+        (gen_expr env (depth - 1) st)
+    | 2 ->
+      (* Division with a guarded positive divisor. *)
+      Printf.sprintf "(%s %s ((%s & 1023) + 1))"
+        (gen_expr env (depth - 1) st)
+        (Gen.oneofl [ "/"; "%" ] st)
+        (gen_expr env (depth - 1) st)
+    | 3 ->
+      Printf.sprintf "(%s %s (%s & 15))"
+        (gen_expr env (depth - 1) st)
+        (Gen.oneofl [ "<<"; ">>" ] st)
+        (gen_expr env (depth - 1) st)
+    | 4 ->
+      Printf.sprintf "(%s %s %s)"
+        (gen_expr env (depth - 1) st)
+        (Gen.oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] st)
+        (gen_expr env (depth - 1) st)
+    | 5 ->
+      Printf.sprintf "(%s %s %s)"
+        (gen_expr env (depth - 1) st)
+        (Gen.oneofl [ "&&"; "||" ] st)
+        (gen_expr env (depth - 1) st)
+    | 6 -> Printf.sprintf "(%s(%s))" (Gen.oneofl [ "-"; "!" ] st)
+             (gen_expr env (depth - 1) st)
+    | 7 -> Printf.sprintf "ga[(%s) & 15]" (gen_expr env (depth - 1) st)
+    | 8 when env.funcs_below <> [] ->
+      let name, arity = Gen.oneofl env.funcs_below st in
+      let args =
+        List.init arity (fun _ -> gen_expr env (depth - 1) st)
+      in
+      Printf.sprintf "%s(%s)" name (String.concat ", " args)
+    | _ -> atom st
+
+let rec gen_stmts env ~depth ~fuel st : string list =
+  if fuel <= 0 then []
+  else
+    let stmt =
+      match Gen.int_range 0 9 st with
+      | 0 | 1 ->
+        let name = Printf.sprintf "t%d" env.next_local in
+        env.next_local <- env.next_local + 1;
+        let s = Printf.sprintf "var %s = %s;" name (gen_expr env 2 st) in
+        env.locals <- name :: env.locals;
+        [ s ]
+      | 2 when env.locals <> [] ->
+        [ Printf.sprintf "%s = %s;" (Gen.oneofl env.locals st)
+            (gen_expr env 2 st) ]
+      | 3 ->
+        [ Printf.sprintf "%s = %s;" (Gen.oneofl [ "gs"; "gt" ] st)
+            (gen_expr env 2 st) ]
+      | 4 ->
+        [ Printf.sprintf "ga[(%s) & 15] = %s;" (gen_expr env 1 st)
+            (gen_expr env 2 st) ]
+      | 5 when depth > 0 ->
+        let saved = env.locals in
+        let then_ = gen_stmts env ~depth:(depth - 1) ~fuel:(fuel / 2) st in
+        env.locals <- saved;
+        let else_ = gen_stmts env ~depth:(depth - 1) ~fuel:(fuel / 2) st in
+        env.locals <- saved;
+        [ Printf.sprintf "if (%s) { %s } else { %s }" (gen_expr env 2 st)
+            (String.concat " " then_) (String.concat " " else_) ]
+      | 6 when depth > 0 ->
+        (* A loop bounded by construction; the body may break early. *)
+        let i = Printf.sprintf "i%d" env.next_local in
+        env.next_local <- env.next_local + 1;
+        let bound = Gen.int_range 1 5 st in
+        let saved = env.locals in
+        env.locals <- i :: env.locals;
+        let body = gen_stmts env ~depth:(depth - 1) ~fuel:(fuel / 2) st in
+        let break_ =
+          if Gen.bool st then
+            Printf.sprintf "if (%s) { break; }" (gen_expr env 1 st)
+          else ""
+        in
+        env.locals <- saved;
+        [ Printf.sprintf "for (var %s = 0; %s < %d; %s = %s + 1) { %s %s }" i i
+            bound i i
+            (String.concat " " body)
+            break_ ]
+      | 7 -> [ Printf.sprintf "print_int(%s);" (gen_expr env 2 st) ]
+      | 8 when env.funcs_below <> [] ->
+        let name, arity = Gen.oneofl env.funcs_below st in
+        let args = List.init arity (fun _ -> gen_expr env 2 st) in
+        [ Printf.sprintf "%s(%s);" name (String.concat ", " args) ]
+      | _ -> [ Printf.sprintf "gt = gt + %s;" (gen_expr env 1 st) ]
+    in
+    stmt @ gen_stmts env ~depth ~fuel:(fuel - 1) st
+
+(* One function definition; may only call [funcs_below] (acyclic call
+   graph guarantees termination). *)
+let gen_func ~name ~funcs_below ~static st =
+  let arity = Gen.int_range 0 3 st in
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  let env = { next_local = 0; funcs_below; locals = params } in
+  let body = gen_stmts env ~depth:2 ~fuel:(Gen.int_range 2 6 st) st in
+  let ret = Printf.sprintf "return %s;" (gen_expr env 2 st) in
+  ( Printf.sprintf "%s func %s(%s) { %s %s }"
+      (if static then "static" else "")
+      name (String.concat ", " params)
+      (String.concat " " body)
+      ret,
+    (name, arity) )
+
+(* A whole program: a library module and a main module.  The library's
+   globals are public so both modules touch them. *)
+let gen_program_sources st : Minic.Compile.source list =
+  let nfuncs = Gen.int_range 1 4 st in
+  let rec build i acc_defs acc_callable =
+    if i >= nfuncs then (List.rev acc_defs, acc_callable)
+    else
+      let name = Printf.sprintf "f%d" i in
+      let def, sig_ =
+        gen_func ~name ~funcs_below:acc_callable ~static:false st
+      in
+      build (i + 1) (def :: acc_defs) (sig_ :: acc_callable)
+  in
+  let defs, callable = build 0 [] [] in
+  let lib =
+    "public global ga[16];\npublic global gs;\npublic global gt = 3;\n"
+    ^ String.concat "\n" defs
+  in
+  let env = { next_local = 0; funcs_below = callable; locals = [] } in
+  let main_body = gen_stmts env ~depth:3 ~fuel:(Gen.int_range 4 10 st) st in
+  let prints =
+    [ "print_int(gs);"; "print_int(gt);"; "print_int(ga[3]);";
+      Printf.sprintf "print_int(%s);" (gen_expr env 2 st) ]
+  in
+  let main =
+    Printf.sprintf "func main() { %s %s return 0; }"
+      (String.concat " " main_body)
+      (String.concat " " prints)
+  in
+  [ Minic.Compile.source ~module_name:"lib" lib;
+    Minic.Compile.source ~module_name:"app" main ]
+
+let gen_program : U.program Gen.t =
+ fun st ->
+  let sources = gen_program_sources st in
+  try fst (Minic.Compile.compile_program sources)
+  with Minic.Diag.Compile_error ds ->
+    failwith
+      ("generator produced an invalid program:\n"
+      ^ String.concat "\n" (List.map Minic.Diag.to_string ds)
+      ^ "\n--- sources ---\n"
+      ^ String.concat "\n---\n"
+          (List.map (fun s -> s.Minic.Compile.src_text) sources))
+
+let arbitrary_program =
+  QCheck.make ~print:(fun p -> Ucode.Pp.program_to_string p) gen_program
+
+let print_sources (sources : Minic.Compile.source list) =
+  String.concat "\n---\n"
+    (List.map
+       (fun s ->
+         Printf.sprintf "// module %s\n%s" s.Minic.Compile.src_module
+           s.Minic.Compile.src_text)
+       sources)
+
+let arbitrary_sources =
+  QCheck.make ~print:print_sources gen_program_sources
+
+(* ------------------------------------------------------------------ *)
+(* Outcome helpers.                                                    *)
+
+(* Run in the interpreter; normalize traps (possible only via fuel on
+   pathological nests, which we treat as equivalent outcomes). *)
+let interp_config =
+  { Interp.default_config with Interp.fuel = 3_000_000; max_call_depth = 2_000 }
+
+let interp_outcome p =
+  match Interp.run ~config:interp_config p with
+  | r -> r.Interp.output
+  | exception Interp.Trap (t, _) -> "<trap: " ^ Interp.trap_message t ^ ">"
+
+let sim_outcome p =
+  let config =
+    { Machine.Sim.default_config with Machine.Sim.max_instructions = 30_000_000 }
+  in
+  match Machine.Sim.run ~config (Machine.Layout.build p) with
+  | r -> r.Machine.Sim.output
+  | exception Machine.Sim.Trap (t, _) ->
+    "<trap: " ^ Machine.Sim.trap_message t ^ ">"
+
+(* Traps of the two engines have different messages; compare modulo
+   trap-ness only when both trap. *)
+let same_outcome a b =
+  let is_trap s = String.length s >= 6 && String.sub s 0 6 = "<trap:" in
+  if is_trap a || is_trap b then is_trap a && is_trap b else String.equal a b
+
+(* ------------------------------------------------------------------ *)
+(* Random HLO configurations (always validating).                      *)
+
+let gen_hlo_config : Hlo.Config.t Gen.t =
+ fun st ->
+  let scope =
+    Gen.oneofl [ Hlo.Config.Base; Hlo.Config.C; Hlo.Config.P; Hlo.Config.CP ] st
+  in
+  let base =
+    { Hlo.Config.default with
+      Hlo.Config.budget_percent = float_of_int (Gen.int_range 0 400 st);
+      pass_limit = Gen.int_range 1 5 st;
+      enable_inlining = Gen.bool st;
+      enable_cloning = Gen.bool st;
+      enable_outlining = Gen.bool st;
+      max_operations = (if Gen.bool st then Some (Gen.int_range 0 20 st) else None);
+      validate = true }
+  in
+  Hlo.Config.with_scope base scope

@@ -1,0 +1,367 @@
+(* The parallel determinism suite.
+
+   The contract under test: compiling with any `--jobs N` produces
+   results *bit-identical* to the sequential compile — the final IR,
+   the HLO report, and the optimizer decision journal (timestamps
+   excluded; they are wall-clock).  Plus unit coverage for the domain
+   pool itself and for the content-hashed summary cache, including
+   warm-vs-cold equivalence and the on-disk round-trip. *)
+
+module U = Ucode.Types
+module Pool = Parallel.Pool
+
+let jobs_levels = [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests.                                                    *)
+
+let test_pool_matches_sequential () =
+  let p = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let xs = Array.init 257 (fun i -> i) in
+  let f x = (x * 7919) mod 1001 in
+  Alcotest.(check (array int))
+    "map_array_in = Array.map" (Array.map f xs)
+    (Pool.map_array_in p f xs);
+  Alcotest.(check (list int))
+    "map_list_in = List.map"
+    (List.map f (Array.to_list xs))
+    (Pool.map_list_in p f (Array.to_list xs))
+
+let test_pool_priority_is_cosmetic () =
+  let p = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let xs = Array.init 100 (fun i -> i) in
+  let f x = x * x in
+  (* Reverse priority: highest index scheduled first.  Results must be
+     in input order regardless. *)
+  let priority = Array.init 100 (fun i -> -i) in
+  Alcotest.(check (array int))
+    "priority changes scheduling only" (Array.map f xs)
+    (Pool.map_array_in p ~priority f xs)
+
+exception Boom of int
+
+let test_pool_first_error_by_index () =
+  let p = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  (* Items 3 and 17 fail; whatever finishes first, the raised error
+     must be item 3's — exactly what sequential Array.map would do. *)
+  let xs = Array.init 64 (fun i -> i) in
+  let f x = if x = 3 || x = 17 then raise (Boom x) else x in
+  (* Schedule item 17 first to tempt a completion-order implementation
+     into raising the wrong one. *)
+  let priority = Array.map (fun x -> if x = 17 then -1 else x) xs in
+  match Pool.map_array_in p ~priority f xs with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Boom n -> Alcotest.(check int) "first failure by index" 3 n
+
+let test_pool_nested_maps () =
+  let p = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  (* A parallel map whose items themselves map in parallel: the inner
+     maps must degrade to inline execution (Pool.in_worker) instead of
+     deadlocking on the shared queue. *)
+  let outer = Array.init 8 (fun i -> i) in
+  let f i =
+    Array.fold_left ( + ) 0
+      (Pool.map_array_in p (fun j -> (i * 10) + j) (Array.init 10 Fun.id))
+  in
+  Alcotest.(check (array int))
+    "nested map" (Array.map f outer)
+    (Pool.map_array_in p f outer)
+
+let test_pool_ambient_degree () =
+  let saved = Pool.get_jobs () in
+  Fun.protect ~finally:(fun () -> Pool.set_jobs saved) @@ fun () ->
+  Pool.set_jobs 3;
+  Alcotest.(check int) "set/get" 3 (Pool.get_jobs ());
+  Alcotest.(check int) "pool degree" 3 (Pool.jobs (Pool.the ()));
+  Pool.set_jobs 0;
+  Alcotest.(check int) "clamped to 1" 1 (Pool.get_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* One full compile, instrumented.                                     *)
+
+(* The decision journal with wall-clock stripped: everything the
+   optimizer decided, in order, without the one field that legitimately
+   differs between runs. *)
+type journal_entry = {
+  j_kind : string;
+  j_verdict : string;
+  j_reason : string;
+  j_subject : string;
+  j_context : string;
+  j_site : int;
+  j_score : float;
+  j_pass : int;
+}
+
+let journal_of collector =
+  List.map
+    (fun (d : Telemetry.Event.decision) ->
+      { j_kind = Telemetry.Event.kind_name d.Telemetry.Event.d_kind;
+        j_verdict = Telemetry.Event.verdict_name d.Telemetry.Event.d_verdict;
+        j_reason =
+          (match d.Telemetry.Event.d_verdict with
+          | Telemetry.Event.Accepted -> ""
+          | Telemetry.Event.Rejected r -> r);
+        j_subject = d.Telemetry.Event.d_subject;
+        j_context = d.Telemetry.Event.d_context;
+        j_site = d.Telemetry.Event.d_site;
+        j_score = d.Telemetry.Event.d_score;
+        j_pass = d.Telemetry.Event.d_pass })
+    (Telemetry.Collector.decisions collector)
+
+type run_result = {
+  rr_ir : string;          (* pretty-printed final program *)
+  rr_report : string;      (* pretty-printed Report.t *)
+  rr_journal : journal_entry list;
+}
+
+(* Compile sources → train (if the config wants profile) → HLO, with
+   [jobs] ambient domains and a private collector, returning everything
+   the determinism contract covers.  [profile] is computed by the
+   caller once per program: the training interpreter is sequential and
+   deterministic, so sharing it just avoids redundant work. *)
+let run_once ~jobs ~(config : Hlo.Config.t) ~profile sources : run_result =
+  Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs 1) @@ fun () ->
+  let collector = Telemetry.Collector.create () in
+  Telemetry.Collector.install collector;
+  Fun.protect ~finally:Telemetry.Collector.uninstall @@ fun () ->
+  let program, _diags = Minic.Compile.compile_program sources in
+  (* Validate after the parallel front end stage, every time. *)
+  (match Ucode.Validate.check_program program with
+  | [] -> ()
+  | errors ->
+    Alcotest.fail
+      ("front end produced invalid IR:\n"
+      ^ Ucode.Validate.errors_to_string errors));
+  let res = Hlo.Driver.run ~config ~profile program in
+  (* config.validate is on for every generated config, so the driver
+     also validated after each clone/inline/optimize stage. *)
+  { rr_ir = Ucode.Pp.program_to_string res.Hlo.Driver.program;
+    rr_report = Fmt.str "%a" Hlo.Report.pp res.Hlo.Driver.report;
+    rr_journal = journal_of collector }
+
+let profile_for ~(config : Hlo.Config.t) sources =
+  if config.Hlo.Config.use_profile then begin
+    let program, _ = Minic.Compile.compile_program sources in
+    match
+      Interp.run
+        ~config:{ Prog_gen.interp_config with Interp.profile = true }
+        program
+    with
+    | r -> r.Interp.profile
+    | exception Interp.Trap _ -> Ucode.Profile.empty
+  end
+  else Ucode.Profile.empty
+
+let check_identical ~what ~jobs (reference : run_result) (got : run_result) =
+  let tag s = Printf.sprintf "%s: %s at jobs=%d vs jobs=1" what s jobs in
+  Alcotest.(check string) (tag "IR") reference.rr_ir got.rr_ir;
+  Alcotest.(check string) (tag "report") reference.rr_report got.rr_report;
+  if reference.rr_journal <> got.rr_journal then begin
+    let show j =
+      String.concat "\n"
+        (List.map
+           (fun e ->
+             Printf.sprintf "%s %s%s %s<-%s site=%d score=%.6g pass=%d"
+               e.j_kind e.j_verdict
+               (if e.j_reason = "" then "" else "(" ^ e.j_reason ^ ")")
+               e.j_subject e.j_context e.j_site e.j_score e.j_pass)
+           j)
+    in
+    Alcotest.(check string)
+      (tag "decision journal")
+      (show reference.rr_journal) (show got.rr_journal)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Property: random programs, random configs, jobs 1..8.               *)
+
+let prop_differential_determinism =
+  QCheck.Test.make ~count:25
+    ~name:"jobs 1/2/4/8 produce identical IR, report and journal"
+    (QCheck.pair Prog_gen.arbitrary_sources (QCheck.make Prog_gen.gen_hlo_config))
+    (fun (sources, config) ->
+      let profile = profile_for ~config sources in
+      let reference = run_once ~jobs:1 ~config ~profile sources in
+      List.iter
+        (fun jobs ->
+          let got = run_once ~jobs ~config ~profile sources in
+          check_identical ~what:"random program" ~jobs reference got)
+        (List.filter (fun j -> j > 1) jobs_levels);
+      true)
+
+(* Property: a warm summary cache changes nothing but the hit counter. *)
+let prop_warm_cache_equals_cold =
+  QCheck.Test.make ~count:25 ~name:"warm summary cache equals cold"
+    (QCheck.pair Prog_gen.arbitrary_sources (QCheck.make Prog_gen.gen_hlo_config))
+    (fun (sources, config) ->
+      let profile = profile_for ~config sources in
+      Hlo.Summary_cache.clear ();
+      let cold = run_once ~jobs:1 ~config ~profile sources in
+      let stats_cold = Hlo.Summary_cache.stats () in
+      let warm = run_once ~jobs:1 ~config ~profile sources in
+      let stats_warm = Hlo.Summary_cache.stats () in
+      check_identical ~what:"warm vs cold" ~jobs:1 cold warm;
+      (* The warm run must actually have been served by the cache: no
+         new entries appeared (same program ⇒ same body hashes). *)
+      if stats_warm.Hlo.Summary_cache.entries
+         <> stats_cold.Hlo.Summary_cache.entries
+      then
+        QCheck.Test.fail_report
+          (Printf.sprintf "warm run added entries: %d -> %d"
+             stats_cold.Hlo.Summary_cache.entries
+             stats_warm.Hlo.Summary_cache.entries);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* The 14 paper workloads, swept across jobs levels.                   *)
+
+let workload_case (b : Workloads.Suite.benchmark) =
+  let name = Printf.sprintf "%s bit-identical at jobs 1/2/4/8" b.Workloads.Suite.b_name in
+  ( name,
+    `Slow,
+    fun () ->
+      let sources = Workloads.Suite.sources b ~input:Workloads.Suite.Train in
+      let config = { Hlo.Config.default with Hlo.Config.validate = true } in
+      let profile = profile_for ~config sources in
+      let reference = run_once ~jobs:1 ~config ~profile sources in
+      List.iter
+        (fun jobs ->
+          let got = run_once ~jobs ~config ~profile sources in
+          check_identical ~what:b.Workloads.Suite.b_name ~jobs reference got)
+        (List.filter (fun j -> j > 1) jobs_levels) )
+
+(* ------------------------------------------------------------------ *)
+(* Summary cache: hashing and the on-disk store.                       *)
+
+let small_program () =
+  Minic.Compile.compile_string
+    "func helper(x) { for (var i = 0; i < 3; i = i + 1) { x = x + i; } \
+     return x; } func main() { print_int(helper(4)); return 0; }"
+
+let test_hash_ignores_identity () =
+  let p = small_program () in
+  let r = U.find_routine_exn p "helper" in
+  let h = Ucode.Hash.routine_body_hash r in
+  Alcotest.(check string)
+    "renaming does not change the hash" h
+    (Ucode.Hash.routine_body_hash { r with U.r_name = "other"; r_module = "m2" });
+  Alcotest.(check string)
+    "clone origin does not change the hash" h
+    (Ucode.Hash.routine_body_hash { r with U.r_origin = U.Clone_of "helper" });
+  (* Re-siting calls (what inlining copies do) keeps the hash... *)
+  let resite (b : U.block) =
+    { b with
+      U.b_instrs =
+        List.map
+          (function
+            | U.Call c -> U.Call { c with U.c_site = c.U.c_site + 1000 }
+            | i -> i)
+          b.U.b_instrs }
+  in
+  let p_main = U.find_routine_exn p "main" in
+  Alcotest.(check string)
+    "site ids do not change the hash"
+    (Ucode.Hash.routine_body_hash p_main)
+    (Ucode.Hash.routine_body_hash
+       { p_main with U.r_blocks = List.map resite p_main.U.r_blocks });
+  (* ...but touching an instruction does not. *)
+  let bump_const (b : U.block) =
+    { b with
+      U.b_instrs =
+        List.map
+          (function
+            | U.Const (d, k) -> U.Const (d, Int64.add k 1L)
+            | i -> i)
+          b.U.b_instrs }
+  in
+  let r' = { r with U.r_blocks = List.map bump_const r.U.r_blocks } in
+  if Ucode.Hash.routine_body_hash r' = h then
+    Alcotest.fail "changing a constant must change the hash"
+
+let test_cache_roundtrip () =
+  Hlo.Summary_cache.clear ();
+  let p = small_program () in
+  let before =
+    List.map (fun r -> Hlo.Summary_cache.find r) p.U.p_routines
+  in
+  let entries = (Hlo.Summary_cache.stats ()).Hlo.Summary_cache.entries in
+  let path = Filename.temp_file "summary_cache" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  (match Hlo.Summary_cache.save path with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Hlo.Summary_cache.clear ();
+  (match Hlo.Summary_cache.load path with
+  | Ok n -> Alcotest.(check int) "all entries loaded" entries n
+  | Error msg -> Alcotest.fail msg);
+  let after = List.map (fun r -> Hlo.Summary_cache.find r) p.U.p_routines in
+  List.iter2
+    (fun (b : Hlo.Summary_cache.entry) (a : Hlo.Summary_cache.entry) ->
+      Alcotest.(check int) "size survives the round-trip"
+        b.Hlo.Summary_cache.e_size a.Hlo.Summary_cache.e_size;
+      Alcotest.(check (list int)) "cycles survive the round-trip"
+        (U.Int_set.elements b.Hlo.Summary_cache.e_cycles)
+        (U.Int_set.elements a.Hlo.Summary_cache.e_cycles))
+    before after;
+  let s = Hlo.Summary_cache.stats () in
+  (* The post-load lookups must have been hits, not recomputations. *)
+  Alcotest.(check int) "post-load lookups hit" (List.length p.U.p_routines)
+    s.Hlo.Summary_cache.hits;
+  Alcotest.(check int) "no recomputation after load" 0
+    s.Hlo.Summary_cache.misses
+
+let test_cache_agrees_with_direct_computation () =
+  Hlo.Summary_cache.clear ();
+  let p = small_program () in
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "cached size = Size.routine_size"
+        (Ucode.Size.routine_size r)
+        (Hlo.Summary_cache.size r);
+      Alcotest.(check (list int)) "cached cycles = Summaries.blocks_in_cycles"
+        (U.Int_set.elements (Hlo.Summaries.blocks_in_cycles r))
+        (U.Int_set.elements (Hlo.Summary_cache.cycles r)))
+    p.U.p_routines
+
+let test_cache_rejects_garbage () =
+  let path = Filename.temp_file "summary_cache" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc "not a cache file\n";
+  close_out oc;
+  match Hlo.Summary_cache.load path with
+  | Ok _ -> Alcotest.fail "expected a header error"
+  | Error _ -> ()
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "deterministic map" `Quick
+            test_pool_matches_sequential;
+          Alcotest.test_case "priority is cosmetic" `Quick
+            test_pool_priority_is_cosmetic;
+          Alcotest.test_case "first error by index" `Quick
+            test_pool_first_error_by_index;
+          Alcotest.test_case "nested maps run inline" `Quick
+            test_pool_nested_maps;
+          Alcotest.test_case "ambient degree" `Quick test_pool_ambient_degree ] );
+      ( "determinism",
+        [ to_alcotest prop_differential_determinism;
+          to_alcotest prop_warm_cache_equals_cold ] );
+      ( "workloads",
+        List.map workload_case Workloads.Suite.all );
+      ( "summary_cache",
+        [ Alcotest.test_case "hash ignores identity" `Quick
+            test_hash_ignores_identity;
+          Alcotest.test_case "disk round-trip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "agrees with direct computation" `Quick
+            test_cache_agrees_with_direct_computation;
+          Alcotest.test_case "rejects garbage files" `Quick
+            test_cache_rejects_garbage ] ) ]

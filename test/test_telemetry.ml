@@ -232,6 +232,91 @@ let test_chrome_roundtrip () =
     events
 
 (* ------------------------------------------------------------------ *)
+(* Concurrency: domains hammering one collector lose nothing.          *)
+
+let test_concurrent_no_lost_events () =
+  let domains = 4 and spans_per_domain = 200 in
+  let c =
+    with_collector (fun c ->
+        let work d () =
+          for i = 1 to spans_per_domain do
+            T.with_span "worker.span"
+              ~attrs:[ ("domain", TE.Int d) ]
+              (fun () ->
+                T.count "worker.items" 1;
+                if i mod 50 = 0 then
+                  T.decision ~kind:TE.Inline ~verdict:TE.Accepted
+                    ~site:((d * 1000) + i) "concurrent")
+          done
+        in
+        let spawned =
+          List.init (domains - 1) (fun d -> Domain.spawn (work (d + 1)))
+        in
+        work 0 ();
+        List.iter Domain.join spawned;
+        c)
+  in
+  check_int "no span lost" (domains * spans_per_domain)
+    (List.length (T.spans c));
+  check_int "no decision lost"
+    (domains * (spans_per_domain / 50))
+    (List.length (T.decisions c));
+  check_float "no count lost"
+    (float_of_int (domains * spans_per_domain))
+    (Telemetry.Counters.get (T.counters c) "worker.items");
+  (* Every span closed on the domain that opened it, with a sane
+     domain-local depth, and timestamps stayed strictly orderable. *)
+  let spans = T.spans c in
+  List.iter
+    (fun (s : TE.span) ->
+      check_int (s.TE.sp_name ^ " depth") 0 s.TE.sp_depth;
+      check_bool "nonneg duration" true (s.TE.sp_dur_us >= 0.0);
+      match List.assoc_opt "domain" s.TE.sp_attrs with
+      | Some (TE.Int _) -> ()
+      | _ -> Alcotest.fail "span lost its domain attribute")
+    spans;
+  let domains_seen =
+    List.sort_uniq compare (List.map (fun (s : TE.span) -> s.TE.sp_domain) spans)
+  in
+  check_int "spans came from every domain" domains (List.length domains_seen)
+
+let test_concurrent_chrome_roundtrip () =
+  let domains = 4 and spans_per_domain = 50 in
+  let c =
+    with_collector (fun c ->
+        let work d () =
+          for _ = 1 to spans_per_domain do
+            T.with_span "shard" ~attrs:[ ("d", TE.Int d) ] (fun () -> ())
+          done
+        in
+        let spawned =
+          List.init (domains - 1) (fun d -> Domain.spawn (work (d + 1)))
+        in
+        work 0 ();
+        List.iter Domain.join spawned;
+        c)
+  in
+  let trace = parse_exn (Telemetry.Export.chrome_string c) in
+  let events =
+    match J.to_list_opt (member_exn "traceEvents" trace) with
+    | Some l -> l
+    | None -> Alcotest.fail "traceEvents not a list"
+  in
+  check_int "all spans exported" (domains * spans_per_domain)
+    (List.length events);
+  (* Spans land on one track per domain (tid = domain id). *)
+  let tids =
+    List.sort_uniq compare
+      (List.map
+         (fun j ->
+           match J.to_number (member_exn "tid" j) with
+           | Some t -> int_of_float t
+           | None -> Alcotest.fail "tid not a number")
+         events)
+  in
+  check_int "one track per domain" domains (List.length tids)
+
+(* ------------------------------------------------------------------ *)
 (* Driver integration: the journal agrees with the report.             *)
 
 let sources =
@@ -368,6 +453,11 @@ let () =
       ("export",
        [ Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
          Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip ]);
+      ("concurrency",
+       [ Alcotest.test_case "no lost events across domains" `Quick
+           test_concurrent_no_lost_events;
+         Alcotest.test_case "chrome round-trip under domains" `Quick
+           test_concurrent_chrome_roundtrip ]);
       ("integration",
        [ Alcotest.test_case "journal matches report" `Quick
            test_driver_journal_matches_report;

@@ -240,6 +240,91 @@ let test_validate_duplicate_sites () =
   in
   check_bool "duplicate site caught" true (Ucode.Validate.check_program bad <> [])
 
+(* Each malformation must be reported with a message naming it — not
+   just "some error somewhere".  These are the failure modes a buggy
+   transformation (or a buggy parallel merge) would actually produce. *)
+let expect_error what mutate =
+  let p = caller_callee_program () in
+  let bad = mutate p in
+  let errors = Ucode.Validate.check_program bad in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool
+    (Printf.sprintf "expected %S in:\n%s" what
+       (Ucode.Validate.errors_to_string errors))
+    true
+    (List.exists
+       (fun (e : Ucode.Validate.error) -> contains e.Ucode.Validate.what what)
+       errors)
+
+let map_main_blocks p f =
+  let main = U.find_routine_exn p "main" in
+  U.update_routine p { main with U.r_blocks = List.map f main.U.r_blocks }
+
+let test_validate_error_paths () =
+  (* Duplicate parameter registers. *)
+  expect_error "duplicate parameter" (fun p ->
+      let callee = U.find_routine_exn p "callee" in
+      U.update_routine p
+        { callee with
+          U.r_params = [ 0; 0 ];
+          r_next_reg = max 2 callee.U.r_next_reg });
+  (* Parameter register out of range. *)
+  expect_error "parameter register" (fun p ->
+      let callee = U.find_routine_exn p "callee" in
+      U.update_routine p { callee with U.r_params = [ callee.U.r_next_reg ] });
+  (* Branch to a missing block, with the target named. *)
+  expect_error "branch to missing block 99" (fun p ->
+      map_main_blocks p (fun b -> { b with U.b_term = U.Jump 99 }));
+  (* A routine with no blocks at all. *)
+  expect_error "no blocks" (fun p ->
+      let callee = U.find_routine_exn p "callee" in
+      U.update_routine p { callee with U.r_blocks = [] });
+  (* Duplicate block ids. *)
+  expect_error "duplicate block id" (fun p ->
+      let main = U.find_routine_exn p "main" in
+      U.update_routine p
+        { main with U.r_blocks = main.U.r_blocks @ main.U.r_blocks });
+  (* Block id outside [0, r_next_label). *)
+  expect_error "out of range" (fun p ->
+      let main = U.find_routine_exn p "main" in
+      U.update_routine p { main with U.r_next_label = 0 });
+  (* A register beyond r_next_reg. *)
+  expect_error "register" (fun p ->
+      map_main_blocks p (fun b ->
+          { b with
+            U.b_instrs = U.Const (1_000_000, 0L) :: b.U.b_instrs }));
+  (* Site id out of the program's [0, p_next_site) range. *)
+  expect_error "site id" (fun p ->
+      map_main_blocks p (fun b ->
+          { b with
+            U.b_instrs =
+              List.map
+                (function
+                  | U.Call c -> U.Call { c with U.c_site = p.U.p_next_site + 7 }
+                  | i -> i)
+                b.U.b_instrs }));
+  (* Negative site id. *)
+  expect_error "site id" (fun p ->
+      map_main_blocks p (fun b ->
+          { b with
+            U.b_instrs =
+              List.map
+                (function
+                  | U.Call c -> U.Call { c with U.c_site = -1 }
+                  | i -> i)
+                b.U.b_instrs }));
+  (* Duplicate routine names. *)
+  expect_error "duplicate routine name" (fun p ->
+      { p with U.p_routines = p.U.p_routines @ [ List.hd p.U.p_routines ] });
+  (* Faddr of an undefined routine. *)
+  expect_error "faddr of undefined routine" (fun p ->
+      map_main_blocks p (fun b ->
+          { b with U.b_instrs = U.Faddr (0, "ghost") :: b.U.b_instrs }))
+
 (* ------------------------------------------------------------------ *)
 (* Call graph.                                                         *)
 
@@ -472,7 +557,8 @@ let () =
       ( "validate",
         [ Alcotest.test_case "accepts good" `Quick test_validate_good;
           Alcotest.test_case "detects bad" `Quick test_validate_detects;
-          Alcotest.test_case "duplicate sites" `Quick test_validate_duplicate_sites ] );
+          Alcotest.test_case "duplicate sites" `Quick test_validate_duplicate_sites;
+          Alcotest.test_case "error paths" `Quick test_validate_error_paths ] );
       ( "callgraph",
         [ Alcotest.test_case "edges" `Quick test_callgraph_edges;
           Alcotest.test_case "bottom-up order" `Quick test_callgraph_bottom_up;
