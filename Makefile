@@ -14,7 +14,8 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Machine-readable workload x jobs x wall-time matrix (BENCH_pr3.json).
+# Machine-readable workload x jobs x wall-time matrix + incremental
+# isom build timings (BENCH_pr4.json).
 bench-json:
 	dune exec bench/bench_json.exe
 

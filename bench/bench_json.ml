@@ -1,8 +1,9 @@
-(* Machine-readable perf data points for the parallel driver:
-   workload x jobs x wall-time, plus summary-cache hit rates and a
-   warm-vs-cold cache comparison, written to BENCH_pr3.json.
+(* Machine-readable perf data points for the parallel driver and the
+   isom build: workload x jobs x wall-time, summary-cache hit rates, a
+   warm-vs-cold cache comparison, and cold/warm/one-dirty incremental
+   build timings, written to BENCH_pr4.json.
 
-     dune exec bench/bench_json.exe            # writes ./BENCH_pr3.json
+     dune exec bench/bench_json.exe            # writes ./BENCH_pr4.json
      dune exec bench/bench_json.exe -- out.json
 
    Wall-clock numbers depend on the machine — most importantly on how
@@ -102,10 +103,65 @@ let measure_warm_cache () =
       ("warm_wall_s", J.Float warm);
       ("warm_hit_rate", J.Float (hit_rate stats)) ]
 
+(* Incremental rebuild timings through the isom path: cold (empty isom
+   directory), warm (nothing dirty), and one-dirty-of-N (the last
+   module's source touched).  This times the phases incrementality
+   short-circuits — front end + isom I/O + link; training and HLO see
+   an identical program either way, so they are excluded. *)
+let measure_incremental (b : Workloads.Suite.benchmark) =
+  let name = b.Workloads.Suite.b_name in
+  let sources = Workloads.Suite.sources b ~input in
+  let n_modules = List.length sources in
+  let dir = Filename.temp_file "bench_isom" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm dir) @@ fun () ->
+  let build srcs =
+    let isoms, _, st = Isom.Build.compile_incremental ~dir srcs in
+    ignore (Isom.Build.link isoms);
+    st
+  in
+  let timed srcs =
+    let t0 = Unix.gettimeofday () in
+    let st = build srcs in
+    (Unix.gettimeofday () -. t0, st)
+  in
+  let cold, _ = timed sources in
+  let warm, warm_st = timed sources in
+  let dirty_sources =
+    match List.rev sources with
+    | last :: rest ->
+      List.rev
+        ({ last with
+           Minic.Compile.src_text =
+             last.Minic.Compile.src_text ^ "\n// touched by bench\n" }
+        :: rest)
+    | [] -> sources
+  in
+  let one_dirty, dirty_st = timed dirty_sources in
+  Fmt.pr "%-14s modules=%d cold=%.3fs warm=%.3fs one-dirty=%.3fs@." name
+    n_modules cold warm one_dirty;
+  J.Assoc
+    [ ("name", J.String name);
+      ("modules", J.Int n_modules);
+      ("cold_wall_s", J.Float cold);
+      ("warm_wall_s", J.Float warm);
+      ("warm_recompiled", J.Int (List.length warm_st.Isom.Build.s_recompiled));
+      ("one_dirty_wall_s", J.Float one_dirty);
+      ("one_dirty_recompiled",
+       J.Int (List.length dirty_st.Isom.Build.s_recompiled)) ]
+
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pr3.json" in
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pr4.json" in
   let cores = Domain.recommended_domain_count () in
-  Fmt.pr "BENCH_pr3: %d workloads x jobs %s on %d core(s)@."
+  Fmt.pr "BENCH_pr4: %d workloads x jobs %s on %d core(s)@."
     (List.length Workloads.Suite.all)
     (String.concat "/" (List.map string_of_int jobs_levels))
     cores;
@@ -113,9 +169,11 @@ let () =
   let total1 = List.fold_left (fun a (w1, _, _) -> a +. w1) 0.0 rows in
   let total4 = List.fold_left (fun a (_, w4, _) -> a +. w4) 0.0 rows in
   let warm = measure_warm_cache () in
+  Fmt.pr "-- incremental isom builds --@.";
+  let incremental = List.map measure_incremental Workloads.Suite.all in
   let doc =
     J.Assoc
-      [ ("bench", J.String "pr3-parallel-driver");
+      [ ("bench", J.String "pr4-isom-separate-compilation");
         ("input", J.String "train");
         ("cores", J.Int cores);
         ("repetitions", J.Int repetitions);
@@ -126,7 +184,8 @@ let () =
             [ ("wall_s_jobs1", J.Float total1);
               ("wall_s_jobs4", J.Float total4);
               ("speedup_at_4", J.Float (total1 /. total4)) ] );
-        ("warm_cache", warm) ]
+        ("warm_cache", warm);
+        ("incremental", J.List incremental) ]
   in
   Telemetry.Export.write_file ~path:out (J.to_string doc);
   Fmt.pr "total: jobs1=%.3fs jobs4=%.3fs speedup@4=%.2fx@." total1 total4

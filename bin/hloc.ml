@@ -6,7 +6,18 @@
    either dumps the result or executes it (IR interpreter or VR32
    machine simulator).
 
-     hloc a.mc b.mc --scope cp --budget 100 --run sim --stats *)
+     hloc a.mc b.mc --scope cp --budget 100 --run sim --stats
+
+   The isom path (the paper's separate-compilation model):
+
+     hloc -c a.mc b.isom            # compile one module to a.isom
+     hloc --link a.isom b.isom      # link isoms, then HLO as usual
+     hloc --incremental a.mc b.mc   # manifest-driven rebuild + link
+
+   All three produce bit-identical results to the whole-program
+   compile: the same front-end stages run either way, and profile
+   fragments stored in isoms are only used when every module has
+   one. *)
 
 open Cmdliner
 
@@ -20,10 +31,49 @@ let module_name_of_path path = Filename.remove_extension (Filename.basename path
 
 type runner = Run_none | Run_interp | Run_sim
 type trace_format = Trace_chrome | Trace_jsonl
+type mode = Whole | Compile_only | Link_isoms | Incremental
+
+let is_isom_path path = Filename.check_suffix path ".isom"
+
+(* Classify command-line inputs for the isom modes: [.isom] files are
+   read (fatally — if you named an object file you meant it), anything
+   else is MiniC source. *)
+let classify_inputs files =
+  List.map
+    (fun path ->
+      if is_isom_path path then
+        match Isom.File.read ~path with
+        | Ok i -> (path, Isom.Build.Obj i)
+        | Error msg -> raise (Sys_error msg)
+      else
+        ( path,
+          Isom.Build.Src
+            (Minic.Compile.source ~module_name:(module_name_of_path path)
+               (read_file path)) ))
+    files
 
 let compile_and_run files scope budget passes no_inline no_clone max_ops
     dump_ir dump_asm dump_profile stats runner main trace trace_format
-    telemetry_summary jobs summary_cache =
+    telemetry_summary jobs summary_cache compile_only link_isoms incremental
+    isom_dir output write_profiles =
+  match
+    (match (compile_only, link_isoms, incremental) with
+    | true, true, _ | true, _, true | _, true, true ->
+      Error "at most one of -c, --link and --incremental may be given"
+    | true, false, false -> Ok Compile_only
+    | false, true, false -> Ok Link_isoms
+    | false, false, true ->
+      if List.exists is_isom_path files then
+        Error "--incremental recompiles from source; pass .mc files, not .isom"
+      else Ok Incremental
+    | false, false, false ->
+      (* Naming an object file implies linking. *)
+      Ok (if List.exists is_isom_path files then Link_isoms else Whole))
+  with
+  | Error msg -> `Error (false, msg)
+  | Ok mode when output <> None && mode <> Compile_only ->
+    ignore mode; `Error (false, "-o is only meaningful with -c")
+  | Ok mode ->
   (* Parallelism: [--jobs N] overrides the HLO_JOBS environment
      default.  Results are bit-identical at any degree (the pool's
      maps are order-preserving); only wall-clock changes. *)
@@ -77,16 +127,99 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
   in
   Fun.protect ~finally:finish_telemetry @@ fun () ->
   try
-    let sources =
-      List.map
-        (fun path ->
-          Minic.Compile.source ~module_name:(module_name_of_path path)
-            (read_file path))
-        files
-    in
-    let program, diags =
-      Telemetry.Collector.with_span "minic.compile" (fun () ->
-          Minic.Compile.compile_program ~main sources)
+    match mode with
+    | Compile_only ->
+      let inputs = classify_inputs files in
+      let n_sources =
+        List.length
+          (List.filter
+             (fun (_, i) ->
+               match i with Isom.Build.Obj _ -> false | _ -> true)
+             inputs)
+      in
+      if output <> None && n_sources <> 1 then
+        `Error (false, "-o requires exactly one source module")
+      else begin
+        let isoms, diags = Isom.Build.compile_inputs (List.map snd inputs) in
+        List.iter (fun d -> Fmt.epr "%a@." Minic.Diag.pp d) diags;
+        List.iter2
+          (fun (path, input) isom ->
+            match input with
+            | Isom.Build.Obj _ -> ()  (* inputs providing exports only *)
+            | _ ->
+              let out =
+                match output with
+                | Some o -> o
+                | None -> Filename.remove_extension path ^ ".isom"
+              in
+              (match Isom.File.write ~path:out isom with
+              | Ok () -> if stats then Fmt.pr "[isom] wrote %s@." out
+              | Error msg -> raise (Sys_error msg)))
+          inputs isoms;
+        `Ok ()
+      end
+    | (Whole | Link_isoms | Incremental) as mode ->
+    let program, diags, link_info =
+      match mode with
+      | Compile_only -> assert false
+      | Whole ->
+        let sources =
+          List.map
+            (fun path ->
+              Minic.Compile.source ~module_name:(module_name_of_path path)
+                (read_file path))
+            files
+        in
+        let program, diags =
+          Telemetry.Collector.with_span "minic.compile" (fun () ->
+              Minic.Compile.compile_program ~main sources)
+        in
+        (program, diags, None)
+      | Link_isoms ->
+        let inputs = classify_inputs files in
+        let isoms, diags = Isom.Build.compile_inputs (List.map snd inputs) in
+        let program, maps, seed = Isom.Build.link ~main isoms in
+        (* Only inputs that exist as .isom files on disk can receive
+           profile fragments later; sources compiled on the fly are
+           linked but not persisted. *)
+        let paired =
+          List.filter_map
+            (fun ((path, input), isom) ->
+              match input with
+              | Isom.Build.Obj _ -> Some (path, isom)
+              | _ -> None)
+            (List.combine inputs isoms)
+        in
+        (program, diags, Some (maps, paired, seed))
+      | Incremental ->
+        let sources =
+          List.map
+            (fun path ->
+              Minic.Compile.source ~module_name:(module_name_of_path path)
+                (read_file path))
+            files
+        in
+        let isoms, diags, st =
+          Isom.Build.compile_incremental ~dir:isom_dir sources
+        in
+        if stats then begin
+          Fmt.pr "[isom] reused=%d recompiled=%d@."
+            (List.length st.Isom.Build.s_reused)
+            (List.length st.Isom.Build.s_recompiled);
+          List.iter
+            (fun (m, reason) -> Fmt.pr "[isom] recompiled %s: %s@." m reason)
+            st.Isom.Build.s_recompiled
+        end;
+        let program, maps, seed = Isom.Build.link ~main isoms in
+        let paired =
+          List.map
+            (fun i ->
+              ( Filename.concat isom_dir
+                  (Isom.File.file_name (Isom.File.name i)),
+                i ))
+            isoms
+        in
+        (program, diags, Some (maps, paired, seed))
     in
     List.iter
       (fun d -> Fmt.epr "%a@." Minic.Diag.pp d)
@@ -99,16 +232,43 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
           max_operations = max_ops }
         scope
     in
-    let profile =
-      if config.Hlo.Config.use_profile then begin
-        let r = Interp.train program in
-        if stats then
-          Fmt.pr "[train] %d IR steps, output %d bytes@." r.Interp.steps
-            (String.length r.Interp.output);
-        r.Interp.profile
-      end
-      else Ucode.Profile.empty
+    let seed_profile =
+      match link_info with Some (_, _, s) -> s | None -> None
     in
+    let profile, trained =
+      if config.Hlo.Config.use_profile then
+        match seed_profile with
+        | Some p ->
+          (* Every isom carried a fragment from an earlier training
+             run over these exact module bodies; merging them
+             reproduces that profile, so skip retraining. *)
+          if stats then
+            Fmt.pr "[isom] profile seeded from module fragments@.";
+          (p, false)
+        | None ->
+          let r = Interp.train program in
+          if stats then
+            Fmt.pr "[train] %d IR steps, output %d bytes@." r.Interp.steps
+              (String.length r.Interp.output);
+          (r.Interp.profile, true)
+      else (Ucode.Profile.empty, false)
+    in
+    (match link_info with
+    | Some (maps, paired, _) when write_profiles ->
+      if not (config.Hlo.Config.use_profile && trained) then begin
+        if stats then Fmt.pr "[isom] profile fragments unchanged@."
+      end
+      else (
+        match Isom.Build.write_fragments paired ~maps ~profile with
+        | Ok () ->
+          if stats then
+            Fmt.pr "[isom] wrote %d profile fragments@." (List.length paired)
+        | Error msg ->
+          Fmt.epr "hloc: cannot write profile fragments: %s@." msg)
+    | Some _ -> ()
+    | None ->
+      if write_profiles then
+        Fmt.epr "hloc: ignoring --write-profiles (whole-program mode)@.");
     if dump_profile then Fmt.pr "%a@." Ucode.Profile.pp profile;
     let result = Hlo.Driver.run ~config ~profile program in
     let optimized = result.Hlo.Driver.program in
@@ -143,8 +303,9 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
       (false, Printf.sprintf "machine trap at %d: %s" pc (Machine.Sim.trap_message t))
 
 let files =
-  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.mc"
-         ~doc:"MiniC source modules; the module name is the file basename.")
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"MiniC source modules ($(b,.mc)) and/or isom object files \
+               ($(b,.isom)); the module name is the file basename.")
 
 let scope =
   let parse = function
@@ -263,6 +424,50 @@ let summary_cache =
                  save it back on exit, so repeated compiles of \
                  overlapping code skip recomputing summaries.")
 
+let compile_only =
+  Arg.(value & flag
+       & info [ "c"; "compile-only" ]
+           ~doc:"Compile each source module to an isom object file and stop \
+                 (no link, no optimization, no run).  $(b,.isom) arguments \
+                 contribute their exports but are not rewritten.")
+
+let link_isoms =
+  Arg.(value & flag
+       & info [ "link" ]
+           ~doc:"Link isom object files (compiling any $(b,.mc) arguments \
+                 on the fly) and continue with the usual HLO pipeline.  \
+                 Implied when any argument is a $(b,.isom) file.")
+
+let incremental =
+  Arg.(value & flag
+       & info [ "incremental" ]
+           ~doc:"Build the given source modules through the isom directory \
+                 (see $(b,--isom-dir)): modules whose source and imported \
+                 exports are unchanged since the last build are loaded from \
+                 their isom instead of recompiled, then everything is \
+                 linked and optimized as usual.  The result is bit-identical \
+                 to a whole-program compile.")
+
+let isom_dir =
+  Arg.(value & opt string "_isom"
+       & info [ "isom-dir" ] ~docv:"DIR"
+           ~doc:"Directory holding isom object files and the build manifest \
+                 for $(b,--incremental).")
+
+let output =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path for $(b,-c) (requires exactly one source \
+                 module; default: the source path with a $(b,.isom) \
+                 extension).")
+
+let write_profiles =
+  Arg.(value & flag
+       & info [ "write-profiles" ]
+           ~doc:"After training, slice the profile per module and store \
+                 each module's fragment into its isom file, so later links \
+                 of the same isoms can skip training.")
+
 let cmd =
   let doc = "profile-guided cross-module inlining and cloning for MiniC" in
   let info = Cmd.info "hloc" ~version:"1.0" ~doc in
@@ -271,6 +476,7 @@ let cmd =
             (const compile_and_run $ files $ scope $ budget $ passes $ no_inline
             $ no_clone $ max_ops $ dump_ir $ dump_asm $ dump_profile $ stats
             $ runner $ entry_name $ trace $ trace_format $ telemetry_summary
-            $ jobs $ summary_cache))
+            $ jobs $ summary_cache $ compile_only $ link_isoms $ incremental
+            $ isom_dir $ output $ write_profiles))
 
 let () = exit (Cmd.eval cmd)

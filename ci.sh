@@ -48,6 +48,46 @@ grep -q '\[cache\] loaded' "$tmp/warm.txt"
 diff -u "$tmp/cold.txt" <(grep -v '^\[cache\]' "$tmp/warm.txt")
 echo "warm-cache output identical to cold"
 
+echo "== isom separate compilation smoke (hloc -c / --link) =="
+# Whole-program reference, then per-module isoms, then a link of the
+# isoms: IR, stats and run output must be byte-identical.
+dune exec bin/hloc.exe -- \
+  examples/telemetry_util.mc examples/telemetry_main.mc \
+  --dump-ir --stats --run interp > "$tmp/whole.txt"
+dune exec bin/hloc.exe -- -c examples/telemetry_util.mc \
+  -o "$tmp/telemetry_util.isom"
+dune exec bin/hloc.exe -- -c examples/telemetry_main.mc \
+  "$tmp/telemetry_util.isom" -o "$tmp/telemetry_main.isom"
+dune exec bin/hloc.exe -- --link \
+  "$tmp/telemetry_util.isom" "$tmp/telemetry_main.isom" \
+  --dump-ir --stats --run interp > "$tmp/linked.txt"
+diff -u "$tmp/whole.txt" "$tmp/linked.txt"
+echo "separate compile + link identical to whole-program"
+
+echo "== isom incremental smoke (hloc --incremental) =="
+dune exec bin/hloc.exe -- --incremental \
+  examples/telemetry_util.mc examples/telemetry_main.mc \
+  --isom-dir "$tmp/isom" --dump-ir --stats --run interp > "$tmp/inc-cold.txt"
+grep -q '\[isom\] reused=0 recompiled=2' "$tmp/inc-cold.txt"
+dune exec bin/hloc.exe -- --incremental \
+  examples/telemetry_util.mc examples/telemetry_main.mc \
+  --isom-dir "$tmp/isom" --dump-ir --stats --run interp > "$tmp/inc-warm.txt"
+grep -q '\[isom\] reused=2 recompiled=0' "$tmp/inc-warm.txt"
+diff -u <(grep -v '^\[isom\]' "$tmp/inc-cold.txt") \
+        <(grep -v '^\[isom\]' "$tmp/inc-warm.txt")
+diff -u <(grep -v '^\[isom\]' "$tmp/inc-warm.txt") "$tmp/whole.txt"
+echo "incremental warm rebuild reused everything, output identical"
+
+echo "== corrupt isom smoke (graceful recompile) =="
+truncate -s 40 "$tmp/isom/telemetry_main.isom"
+dune exec bin/hloc.exe -- --incremental \
+  examples/telemetry_util.mc examples/telemetry_main.mc \
+  --isom-dir "$tmp/isom" --dump-ir --stats --run interp > "$tmp/inc-corrupt.txt"
+grep -q '\[isom\] reused=1 recompiled=1' "$tmp/inc-corrupt.txt"
+grep -q 'recompiled telemetry_main: unreadable' "$tmp/inc-corrupt.txt"
+diff -u <(grep -v '^\[isom\]' "$tmp/inc-corrupt.txt") "$tmp/whole.txt"
+echo "truncated isom recompiled transparently, output identical"
+
 echo "== telemetry smoke run (hloc --trace) =="
 dune exec bin/hloc.exe -- \
   examples/telemetry_util.mc examples/telemetry_main.mc \

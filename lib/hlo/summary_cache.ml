@@ -136,79 +136,64 @@ let clear () =
 (* ------------------------------------------------------------------ *)
 (* On-disk store.                                                      *)
 
-(* One header line, then one line per entry:
+(* The container (magic, version, checksum, fail-safe load) is the
+   shared [Store] discipline; the payload is one line per entry:
      <hash> <size> <ncycles> <label> ... <label>
    Entries are written sorted by hash so the file is a deterministic
    function of the store's contents. *)
 
-let disk_magic = "hloc-summary-cache 1"
+let disk_magic = "hloc-summary-cache"
+let disk_version = 2
 
 let load path =
-  if not (Sys.file_exists path) then Ok 0
-  else
-    try
-      let ic = open_in path in
-      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
-      if In_channel.input_line ic <> Some disk_magic then
-        Error (path ^ ": not a summary cache (bad header)")
-      else begin
-        let n = ref 0 in
-        let bad = ref None in
-        (try
-           while !bad = None do
-             match In_channel.input_line ic with
-             | None -> raise Exit
-             | Some "" -> ()
-             | Some line ->
-               (match String.split_on_char ' ' line with
-               | hash :: size :: ncycles :: labels
-                 when String.length hash = 32 ->
-                 (match
-                    ( int_of_string_opt size,
-                      int_of_string_opt ncycles,
-                      List.filter_map int_of_string_opt labels )
-                  with
-                 | Some size, Some nc, labels when List.length labels = nc ->
-                   let e_cycles =
-                     List.fold_left
-                       (fun s l -> U.Int_set.add l s)
-                       U.Int_set.empty labels
-                   in
-                   locked (fun () ->
-                       if not (Hashtbl.mem table hash) then begin
-                         Hashtbl.replace table hash { e_size = size; e_cycles };
-                         incr loaded;
-                         incr n
-                       end)
-                 | _ -> bad := Some line)
-               | _ -> bad := Some line)
-           done
-         with Exit -> ());
-        match !bad with
-        | Some line -> Error (path ^ ": malformed entry: " ^ line)
-        | None -> Ok !n
-      end
-    with Sys_error msg -> Error msg
+  match Store.load ~path ~magic:disk_magic ~version:disk_version with
+  | Error msg -> Error msg
+  | Ok None -> Ok 0
+  | Ok (Some payload) ->
+    let n = ref 0 in
+    let bad = ref None in
+    List.iter
+      (fun line ->
+        if !bad = None && line <> "" then
+          match String.split_on_char ' ' line with
+          | hash :: size :: ncycles :: labels when String.length hash = 32 ->
+            (match
+               ( int_of_string_opt size,
+                 int_of_string_opt ncycles,
+                 List.filter_map int_of_string_opt labels )
+             with
+            | Some size, Some nc, labels when List.length labels = nc ->
+              let e_cycles =
+                List.fold_left
+                  (fun s l -> U.Int_set.add l s)
+                  U.Int_set.empty labels
+              in
+              locked (fun () ->
+                  if not (Hashtbl.mem table hash) then begin
+                    Hashtbl.replace table hash { e_size = size; e_cycles };
+                    incr loaded;
+                    incr n
+                  end)
+            | _ -> bad := Some line)
+          | _ -> bad := Some line)
+      (String.split_on_char '\n' payload);
+    (match !bad with
+    | Some line -> Error (path ^ ": malformed entry: " ^ line)
+    | None -> Ok !n)
 
 let save path =
-  try
-    let rows =
-      locked (fun () ->
-          Hashtbl.fold (fun h e acc -> (h, e) :: acc) table [])
-    in
-    let rows =
-      List.sort (fun (a, _) (b, _) -> String.compare a b) rows
-    in
-    let oc = open_out path in
-    Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
-    output_string oc disk_magic;
-    output_char oc '\n';
-    List.iter
-      (fun (h, e) ->
-        let labels = U.Int_set.elements e.e_cycles in
-        Printf.fprintf oc "%s %d %d%s\n" h e.e_size (List.length labels)
-          (String.concat ""
-             (List.map (fun l -> " " ^ string_of_int l) labels)))
-      rows;
-    Ok ()
-  with Sys_error msg -> Error msg
+  let rows =
+    locked (fun () -> Hashtbl.fold (fun h e acc -> (h, e) :: acc) table [])
+  in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (h, e) ->
+      let labels = U.Int_set.elements e.e_cycles in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d %d%s\n" h e.e_size (List.length labels)
+           (String.concat ""
+              (List.map (fun l -> " " ^ string_of_int l) labels))))
+    rows;
+  Store.save ~path ~magic:disk_magic ~version:disk_version
+    (Buffer.contents buf)

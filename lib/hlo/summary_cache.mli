@@ -33,7 +33,10 @@ val reset_stats : unit -> unit
 val clear : unit -> unit
 
 (** Merge a cache file into the store.  Returns the number of entries
-    added; a missing file is [Ok 0].  Entries already resident win. *)
+    added; a missing file is [Ok 0].  Entries already resident win.
+    The file uses the shared versioned/checksummed {!Store} container;
+    any header or checksum problem is an [Error], never an
+    exception. *)
 val load : string -> (int, string) result
 
 (** Write the store to [path] (sorted by hash — the file contents are

@@ -1,0 +1,90 @@
+(** Binary encoding primitives for the isom object format.  See the
+    interface for the discipline; the container-level checksum lives in
+    {!Store}, so [Corrupt] here mostly means an encoder/decoder version
+    skew that the format version failed to catch. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+let at_end r = r.pos = String.length r.data
+
+let need r n =
+  if r.pos + n > String.length r.data then
+    corrupt "unexpected end of data at byte %d (need %d)" r.pos n
+
+let put_int64 buf n = Buffer.add_int64_le buf n
+
+let get_int64 r =
+  need r 8;
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let put_int buf n = put_int64 buf (Int64.of_int n)
+
+let get_int r =
+  let v = get_int64 r in
+  if Int64.of_int (Int64.to_int v) <> v then corrupt "int out of range";
+  Int64.to_int v
+
+let get_count r ~max =
+  let n = get_int r in
+  if n < 0 || n > max then corrupt "count %d out of range [0, %d]" n max;
+  n
+
+let put_float buf f = put_int64 buf (Int64.bits_of_float f)
+let get_float r = Int64.float_of_bits (get_int64 r)
+
+let put_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let get_bool r =
+  need r 1;
+  let c = r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  match c with
+  | '\000' -> false
+  | '\001' -> true
+  | c -> corrupt "bad bool byte %d" (Char.code c)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let get_string r =
+  let n = get_count r ~max:(String.length r.data - r.pos) in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let put_list buf put xs =
+  put_int buf (List.length xs);
+  List.iter (put buf) xs
+
+let get_list r get =
+  (* Every element takes at least one byte, so the remaining bytes
+     bound the element count. *)
+  let n = get_count r ~max:(String.length r.data - r.pos) in
+  List.init n (fun _ -> get r)
+
+let put_option buf put = function
+  | None -> put_bool buf false
+  | Some x ->
+    put_bool buf true;
+    put buf x
+
+let get_option r get = if get_bool r then Some (get r) else None
+
+let put_tag buf t =
+  if t < 0 || t > 255 then invalid_arg "Codec.put_tag";
+  Buffer.add_char buf (Char.chr t)
+
+let get_tag r =
+  need r 1;
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c

@@ -1,0 +1,418 @@
+(** The isom object file.  See the interface for the model; this file
+    is the binary codec for {!Ucode.Linker.module_ir} plus the
+    invalidation keys and the profile fragment, wrapped in the shared
+    {!Store} container. *)
+
+module U = Ucode.Types
+
+let magic = "hloc-isom"
+let version = 1
+
+type t = {
+  i_module : Ucode.Linker.module_ir;
+  i_exports : Minic.Sema.ext_env;
+  i_source_hash : Ucode.Hash.t;
+  i_ext_hash : Ucode.Hash.t;
+  i_body_hashes : (string * Ucode.Hash.t) list;
+  i_profile : Fragment.t;
+}
+
+let name t = t.i_module.Ucode.Linker.m_name
+let file_name module_name = module_name ^ ".isom"
+
+let body_hashes (m : Ucode.Linker.module_ir) =
+  List.map
+    (fun r -> (r.U.r_name, Ucode.Hash.routine_body_hash r))
+    m.Ucode.Linker.m_routines
+
+let make ?(profile = Fragment.empty) ~source_hash ~ext_hash ~exports m =
+  {
+    i_module = m;
+    i_exports = exports;
+    i_source_hash = source_hash;
+    i_ext_hash = ext_hash;
+    i_body_hashes = body_hashes m;
+    i_profile = profile;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Codec for the ucode IR.                                             *)
+
+let binop_tag : U.binop -> int = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3 | Rem -> 4
+  | And -> 5 | Or -> 6 | Xor -> 7 | Shl -> 8 | Shr -> 9
+  | Eq -> 10 | Ne -> 11 | Lt -> 12 | Le -> 13 | Gt -> 14 | Ge -> 15
+
+let binop_of_tag : int -> U.binop = function
+  | 0 -> Add | 1 -> Sub | 2 -> Mul | 3 -> Div | 4 -> Rem
+  | 5 -> And | 6 -> Or | 7 -> Xor | 8 -> Shl | 9 -> Shr
+  | 10 -> Eq | 11 -> Ne | 12 -> Lt | 13 -> Le | 14 -> Gt | 15 -> Ge
+  | t -> Codec.(raise (Corrupt (Printf.sprintf "bad binop tag %d" t)))
+
+let put_unop buf (op : U.unop) =
+  Codec.put_tag buf (match op with Neg -> 0 | Not -> 1)
+
+let get_unop r : U.unop =
+  match Codec.get_tag r with
+  | 0 -> Neg
+  | 1 -> Not
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad unop tag %d" t))
+
+let put_callee buf = function
+  | U.Direct name ->
+    Codec.put_tag buf 0;
+    Codec.put_string buf name
+  | U.Indirect reg ->
+    Codec.put_tag buf 1;
+    Codec.put_int buf reg
+
+let get_callee r =
+  match Codec.get_tag r with
+  | 0 -> U.Direct (Codec.get_string r)
+  | 1 -> U.Indirect (Codec.get_int r)
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad callee tag %d" t))
+
+let put_instr buf (i : U.instr) =
+  match i with
+  | Const (d, k) ->
+    Codec.put_tag buf 0;
+    Codec.put_int buf d;
+    Codec.put_int64 buf k
+  | Faddr (d, n) ->
+    Codec.put_tag buf 1;
+    Codec.put_int buf d;
+    Codec.put_string buf n
+  | Gaddr (d, n) ->
+    Codec.put_tag buf 2;
+    Codec.put_int buf d;
+    Codec.put_string buf n
+  | Unop (d, op, a) ->
+    Codec.put_tag buf 3;
+    Codec.put_int buf d;
+    put_unop buf op;
+    Codec.put_int buf a
+  | Binop (d, op, a, b) ->
+    Codec.put_tag buf 4;
+    Codec.put_int buf d;
+    Codec.put_tag buf (binop_tag op);
+    Codec.put_int buf a;
+    Codec.put_int buf b
+  | Move (d, a) ->
+    Codec.put_tag buf 5;
+    Codec.put_int buf d;
+    Codec.put_int buf a
+  | Load (d, a) ->
+    Codec.put_tag buf 6;
+    Codec.put_int buf d;
+    Codec.put_int buf a
+  | Store (a, v) ->
+    Codec.put_tag buf 7;
+    Codec.put_int buf a;
+    Codec.put_int buf v
+  | Call c ->
+    Codec.put_tag buf 8;
+    Codec.put_option buf Codec.put_int c.U.c_dst;
+    put_callee buf c.U.c_callee;
+    Codec.put_list buf Codec.put_int c.U.c_args;
+    Codec.put_int buf c.U.c_site
+
+let get_instr r : U.instr =
+  match Codec.get_tag r with
+  | 0 ->
+    let d = Codec.get_int r in
+    Const (d, Codec.get_int64 r)
+  | 1 ->
+    let d = Codec.get_int r in
+    Faddr (d, Codec.get_string r)
+  | 2 ->
+    let d = Codec.get_int r in
+    Gaddr (d, Codec.get_string r)
+  | 3 ->
+    let d = Codec.get_int r in
+    let op = get_unop r in
+    Unop (d, op, Codec.get_int r)
+  | 4 ->
+    let d = Codec.get_int r in
+    let op = binop_of_tag (Codec.get_tag r) in
+    let a = Codec.get_int r in
+    Binop (d, op, a, Codec.get_int r)
+  | 5 ->
+    let d = Codec.get_int r in
+    Move (d, Codec.get_int r)
+  | 6 ->
+    let d = Codec.get_int r in
+    Load (d, Codec.get_int r)
+  | 7 ->
+    let a = Codec.get_int r in
+    Store (a, Codec.get_int r)
+  | 8 ->
+    let c_dst = Codec.get_option r Codec.get_int in
+    let c_callee = get_callee r in
+    let c_args = Codec.get_list r Codec.get_int in
+    let c_site = Codec.get_int r in
+    Call { c_dst; c_callee; c_args; c_site }
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad instr tag %d" t))
+
+let put_term buf (t : U.terminator) =
+  match t with
+  | Jump l ->
+    Codec.put_tag buf 0;
+    Codec.put_int buf l
+  | Branch (c, l1, l2) ->
+    Codec.put_tag buf 1;
+    Codec.put_int buf c;
+    Codec.put_int buf l1;
+    Codec.put_int buf l2
+  | Return r ->
+    Codec.put_tag buf 2;
+    Codec.put_option buf Codec.put_int r
+
+let get_term r : U.terminator =
+  match Codec.get_tag r with
+  | 0 -> Jump (Codec.get_int r)
+  | 1 ->
+    let c = Codec.get_int r in
+    let l1 = Codec.get_int r in
+    Branch (c, l1, Codec.get_int r)
+  | 2 -> Return (Codec.get_option r Codec.get_int)
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad terminator tag %d" t))
+
+let put_block buf (b : U.block) =
+  Codec.put_int buf b.U.b_id;
+  Codec.put_list buf put_instr b.U.b_instrs;
+  put_term buf b.U.b_term
+
+let get_block r : U.block =
+  let b_id = Codec.get_int r in
+  let b_instrs = Codec.get_list r get_instr in
+  let b_term = get_term r in
+  { b_id; b_instrs; b_term }
+
+let put_linkage buf (l : U.linkage) =
+  Codec.put_tag buf (match l with Exported -> 0 | Module_local -> 1)
+
+let get_linkage r : U.linkage =
+  match Codec.get_tag r with
+  | 0 -> Exported
+  | 1 -> Module_local
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad linkage tag %d" t))
+
+let put_attrs buf (a : U.attrs) =
+  Codec.put_bool buf a.U.a_varargs;
+  Codec.put_bool buf a.U.a_alloca;
+  Codec.put_tag buf (match a.U.a_fp_model with Strict -> 0 | Relaxed -> 1);
+  Codec.put_bool buf a.U.a_no_inline;
+  Codec.put_bool buf a.U.a_no_clone
+
+let get_attrs r : U.attrs =
+  let a_varargs = Codec.get_bool r in
+  let a_alloca = Codec.get_bool r in
+  let a_fp_model : U.fp_model =
+    match Codec.get_tag r with
+    | 0 -> Strict
+    | 1 -> Relaxed
+    | t -> raise (Codec.Corrupt (Printf.sprintf "bad fp_model tag %d" t))
+  in
+  let a_no_inline = Codec.get_bool r in
+  let a_no_clone = Codec.get_bool r in
+  { a_varargs; a_alloca; a_fp_model; a_no_inline; a_no_clone }
+
+let put_origin buf (o : U.origin) =
+  match o with
+  | From_source -> Codec.put_tag buf 0
+  | Clone_of n ->
+    Codec.put_tag buf 1;
+    Codec.put_string buf n
+
+let get_origin r : U.origin =
+  match Codec.get_tag r with
+  | 0 -> From_source
+  | 1 -> Clone_of (Codec.get_string r)
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad origin tag %d" t))
+
+let put_routine buf (rt : U.routine) =
+  Codec.put_string buf rt.U.r_name;
+  Codec.put_string buf rt.U.r_module;
+  Codec.put_list buf Codec.put_int rt.U.r_params;
+  Codec.put_list buf put_block rt.U.r_blocks;
+  Codec.put_int buf rt.U.r_next_reg;
+  Codec.put_int buf rt.U.r_next_label;
+  put_attrs buf rt.U.r_attrs;
+  put_linkage buf rt.U.r_linkage;
+  put_origin buf rt.U.r_origin
+
+let get_routine r : U.routine =
+  let r_name = Codec.get_string r in
+  let r_module = Codec.get_string r in
+  let r_params = Codec.get_list r Codec.get_int in
+  let r_blocks = Codec.get_list r get_block in
+  let r_next_reg = Codec.get_int r in
+  let r_next_label = Codec.get_int r in
+  let r_attrs = get_attrs r in
+  let r_linkage = get_linkage r in
+  let r_origin = get_origin r in
+  { r_name; r_module; r_params; r_blocks; r_next_reg; r_next_label;
+    r_attrs; r_linkage; r_origin }
+
+let put_global buf (g : U.global) =
+  Codec.put_string buf g.U.g_name;
+  Codec.put_string buf g.U.g_module;
+  Codec.put_int buf g.U.g_size;
+  Codec.put_list buf Codec.put_int64 g.U.g_init;
+  put_linkage buf g.U.g_linkage
+
+let get_global r : U.global =
+  let g_name = Codec.get_string r in
+  let g_module = Codec.get_string r in
+  let g_size = Codec.get_int r in
+  let g_init = Codec.get_list r Codec.get_int64 in
+  let g_linkage = get_linkage r in
+  { g_name; g_module; g_size; g_init; g_linkage }
+
+let put_module buf (m : Ucode.Linker.module_ir) =
+  Codec.put_string buf m.Ucode.Linker.m_name;
+  Codec.put_list buf put_routine m.Ucode.Linker.m_routines;
+  Codec.put_list buf put_global m.Ucode.Linker.m_globals
+
+let get_module r : Ucode.Linker.module_ir =
+  let m_name = Codec.get_string r in
+  let m_routines = Codec.get_list r get_routine in
+  let m_globals = Codec.get_list r get_global in
+  { m_name; m_routines; m_globals }
+
+let put_ext_env buf (e : Minic.Sema.ext_env) =
+  Codec.put_list buf
+    (fun buf (name, arity) ->
+      Codec.put_string buf name;
+      Codec.put_int buf arity)
+    e.Minic.Sema.ext_funcs;
+  Codec.put_list buf
+    (fun buf (name, size, is_array) ->
+      Codec.put_string buf name;
+      Codec.put_int buf size;
+      Codec.put_bool buf is_array)
+    e.Minic.Sema.ext_globals
+
+let get_ext_env r : Minic.Sema.ext_env =
+  let ext_funcs =
+    Codec.get_list r (fun r ->
+        let name = Codec.get_string r in
+        (name, Codec.get_int r))
+  in
+  let ext_globals =
+    Codec.get_list r (fun r ->
+        let name = Codec.get_string r in
+        let size = Codec.get_int r in
+        (name, size, Codec.get_bool r))
+  in
+  { ext_funcs; ext_globals }
+
+let ext_env_hash e =
+  let buf = Buffer.create 256 in
+  put_ext_env buf e;
+  Ucode.Hash.string_hash (Buffer.contents buf)
+
+(* Names a module's IR references but does not itself define — its
+   imports.  Every external name the lowering consulted shows up in
+   the IR as a [Direct] callee, [Faddr] or [Gaddr] (unknown names are
+   sema errors), so the slice of the export environment over these
+   names is exactly what the module's code depends on. *)
+let free_names (m : Ucode.Linker.module_ir) =
+  let defined =
+    U.String_set.union
+      (U.String_set.of_list
+         (List.map (fun r -> r.U.r_name) m.Ucode.Linker.m_routines))
+      (U.String_set.of_list
+         (List.map (fun g -> g.U.g_name) m.Ucode.Linker.m_globals))
+  in
+  let refs = ref U.String_set.empty in
+  let add n =
+    if not (U.String_set.mem n defined) then refs := U.String_set.add n !refs
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun b ->
+          List.iter
+            (function
+              | U.Faddr (_, n) -> add n
+              | U.Gaddr (_, n) -> add n
+              | U.Call { U.c_callee = U.Direct n; _ } -> add n
+              | _ -> ())
+            b.U.b_instrs)
+        r.U.r_blocks)
+    m.Ucode.Linker.m_routines;
+  !refs
+
+(* Sorted by name so the hash does not depend on the order modules are
+   listed in — only on what the referenced names mean. *)
+let relevant_ext (e : Minic.Sema.ext_env) ~free : Minic.Sema.ext_env =
+  {
+    Minic.Sema.ext_funcs =
+      List.sort compare
+        (List.filter
+           (fun (n, _) -> U.String_set.mem n free)
+           e.Minic.Sema.ext_funcs);
+    ext_globals =
+      List.sort compare
+        (List.filter
+           (fun (n, _, _) -> U.String_set.mem n free)
+           e.Minic.Sema.ext_globals);
+  }
+
+let module_ext_hash m e = ext_env_hash (relevant_ext e ~free:(free_names m))
+
+(* ------------------------------------------------------------------ *)
+(* Whole-payload encode/decode.                                        *)
+
+let encode t =
+  let buf = Buffer.create 4096 in
+  put_module buf t.i_module;
+  put_ext_env buf t.i_exports;
+  Codec.put_string buf t.i_source_hash;
+  Codec.put_string buf t.i_ext_hash;
+  Codec.put_list buf
+    (fun buf (name, h) ->
+      Codec.put_string buf name;
+      Codec.put_string buf h)
+    t.i_body_hashes;
+  Fragment.put buf t.i_profile;
+  Buffer.contents buf
+
+let decode payload =
+  match
+    let r = Codec.reader payload in
+    let i_module = get_module r in
+    let i_exports = get_ext_env r in
+    let i_source_hash = Codec.get_string r in
+    let i_ext_hash = Codec.get_string r in
+    let i_body_hashes =
+      Codec.get_list r (fun r ->
+          let name = Codec.get_string r in
+          (name, Codec.get_string r))
+    in
+    let i_profile = Fragment.get r in
+    if not (Codec.at_end r) then
+      raise (Codec.Corrupt "trailing bytes after payload");
+    { i_module; i_exports; i_source_hash; i_ext_hash; i_body_hashes;
+      i_profile }
+  with
+  | t ->
+    (* The stored body hashes double as an end-to-end integrity check:
+       they must match hashes recomputed from the decoded routines. *)
+    if t.i_body_hashes <> body_hashes t.i_module then
+      Error "body hashes do not match decoded routines"
+    else Ok t
+  | exception Codec.Corrupt msg -> Error ("malformed payload: " ^ msg)
+
+let write ~path t =
+  Store.save ~path ~magic ~version (encode t)
+
+let read ~path =
+  match Store.load ~path ~magic ~version with
+  | Error msg -> Error msg
+  | Ok None -> Error (path ^ ": no such file")
+  | Ok (Some payload) -> (
+    match decode payload with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (path ^ ": " ^ msg))

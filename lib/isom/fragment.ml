@@ -1,0 +1,136 @@
+(** Per-module profile fragments: slicing a whole-program profile down
+    to one module and rebuilding a whole-program profile from slices.
+    See the interface for the keying discipline (final routine names,
+    module-local site ids). *)
+
+module U = Ucode.Types
+
+type t = {
+  f_blocks : (string * (U.label * float) list) list;
+  f_sites : (U.site * float) list;
+  f_targets : (U.site * (string * float) list) list;
+}
+
+let empty = { f_blocks = []; f_sites = []; f_targets = [] }
+
+let is_empty f = f.f_blocks = [] && f.f_sites = [] && f.f_targets = []
+
+let of_profile (p : Ucode.Profile.t) ~(maps : Ucode.Linker.maps) ~module_name =
+  let routines =
+    Option.value ~default:[]
+      (U.String_map.find_opt module_name maps.Ucode.Linker.lm_routines)
+  in
+  let sites =
+    Option.value ~default:[]
+      (U.String_map.find_opt module_name maps.Ucode.Linker.lm_sites)
+  in
+  let f_blocks =
+    List.filter_map
+      (fun (_local, final) ->
+        match Ucode.Profile.blocks_of_routine p final with
+        | [] -> None
+        | bs -> (
+          match List.filter (fun (_, c) -> c <> 0.0) bs with
+          | [] -> None
+          | bs -> Some (final, bs)))
+      routines
+  in
+  let f_sites =
+    List.filter_map
+      (fun (local, final) ->
+        let c = Ucode.Profile.site_count p final in
+        if c = 0.0 then None else Some (local, c))
+      sites
+  in
+  let f_targets =
+    List.filter_map
+      (fun (local, final) ->
+        match Ucode.Profile.site_targets p final with
+        | [] -> None
+        | hist -> Some (local, hist))
+      sites
+  in
+  { f_blocks; f_sites; f_targets }
+
+let merge (fragments : (string * t) list) ~(maps : Ucode.Linker.maps) :
+    Ucode.Profile.t =
+  List.fold_left
+    (fun acc (module_name, f) ->
+      let site_map =
+        Option.value ~default:[]
+          (U.String_map.find_opt module_name maps.Ucode.Linker.lm_sites)
+      in
+      let final_of local = List.assoc_opt local site_map in
+      let acc =
+        List.fold_left
+          (fun acc (routine, blocks) ->
+            List.fold_left
+              (fun acc (block, c) ->
+                Ucode.Profile.add_block acc ~routine ~block c)
+              acc blocks)
+          acc f.f_blocks
+      in
+      let acc =
+        List.fold_left
+          (fun acc (local, c) ->
+            match final_of local with
+            | Some final -> Ucode.Profile.add_site acc final c
+            | None -> acc)
+          acc f.f_sites
+      in
+      List.fold_left
+        (fun acc (local, hist) ->
+          match final_of local with
+          | Some final ->
+            (* [add_target] prepends first-seen callees, so replay the
+               histogram in reverse to reproduce its order exactly —
+               the cloner's dominant-target choice must not depend on
+               whether the profile came from training or a merge. *)
+            List.fold_left
+              (fun acc (callee, c) ->
+                Ucode.Profile.add_target acc final callee c)
+              acc (List.rev hist)
+          | None -> acc)
+        acc f.f_targets)
+    Ucode.Profile.empty fragments
+
+(* ------------------------------------------------------------------ *)
+(* Codec.                                                              *)
+
+let put_counted put_key buf (k, c) =
+  put_key buf k;
+  Codec.put_float buf c
+
+let get_counted get_key r =
+  let k = get_key r in
+  let c = Codec.get_float r in
+  (k, c)
+
+let put buf f =
+  Codec.put_list buf
+    (fun buf (name, blocks) ->
+      Codec.put_string buf name;
+      Codec.put_list buf (put_counted Codec.put_int) blocks)
+    f.f_blocks;
+  Codec.put_list buf (put_counted Codec.put_int) f.f_sites;
+  Codec.put_list buf
+    (fun buf (site, hist) ->
+      Codec.put_int buf site;
+      Codec.put_list buf (put_counted Codec.put_string) hist)
+    f.f_targets
+
+let get r =
+  let f_blocks =
+    Codec.get_list r (fun r ->
+        let name = Codec.get_string r in
+        let blocks = Codec.get_list r (get_counted Codec.get_int) in
+        (name, blocks))
+  in
+  let f_sites = Codec.get_list r (get_counted Codec.get_int) in
+  let f_targets =
+    Codec.get_list r (fun r ->
+        let site = Codec.get_int r in
+        let hist = Codec.get_list r (get_counted Codec.get_string) in
+        (site, hist))
+  in
+  { f_blocks; f_sites; f_targets }

@@ -1,0 +1,51 @@
+(** Per-module profile-database fragments.
+
+    The paper's PBO data is gathered on the *linked* program, but the
+    isom model wants it stored per module, next to the module's code,
+    so a later link can reuse training data without re-running the
+    instrumented interpreter (the demand-driven link of PAPERS.md's
+    region-based optimizer, and the substrate for stale-profile
+    matching).
+
+    A fragment is the slice of a whole-program profile attributable to
+    one module, rebased to survive relinking:
+    - block counts are keyed by *final* (post-link) routine names —
+      stable across relinks because mangling is deterministic;
+    - call-site counts and indirect-target histograms are keyed by
+      *module-local* site ids — the only ids that are stable when
+      other modules change — and are rebased through
+      {!Ucode.Linker.maps} at merge time.
+
+    A module whose source changes gets its fragment dropped (the
+    rebuild writes an empty one); {!merge} therefore only ever sees
+    fragments whose code is exactly the code being linked. *)
+
+type t = {
+  f_blocks : (string * (Ucode.Types.label * float) list) list;
+      (** final routine name -> (block label, count), labels sorted *)
+  f_sites : (Ucode.Types.site * float) list;
+      (** module-local site id -> count *)
+  f_targets : (Ucode.Types.site * (string * float) list) list;
+      (** module-local indirect site -> (final callee, count) *)
+}
+
+val empty : t
+val is_empty : t -> bool
+
+(** [of_profile profile ~maps ~module_name] slices the whole-program
+    [profile] down to [module_name]'s routines and sites, rebasing
+    site ids to module-local ones through [maps].  Zero counts are
+    dropped. *)
+val of_profile :
+  Ucode.Profile.t -> maps:Ucode.Linker.maps -> module_name:string -> t
+
+(** [merge fragments ~maps] rebuilds a whole-program profile from
+    per-module fragments under a (possibly new) link described by
+    [maps].  Sites whose module-local id is absent from [maps] (a
+    module shrank since the fragment was written) are skipped rather
+    than misattributed. *)
+val merge :
+  (string * t) list -> maps:Ucode.Linker.maps -> Ucode.Profile.t
+
+val put : Buffer.t -> t -> unit
+val get : Codec.reader -> t

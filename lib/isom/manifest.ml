@@ -1,0 +1,54 @@
+(** Build manifest.  Payload is one line per module —
+    [<module> <source-hash> <ext-hash> <isom-path>] — inside the
+    shared {!Store} container. *)
+
+let magic = "hloc-build-manifest"
+let version = 1
+let file_name = "build.manifest"
+
+type entry = {
+  e_module : string;
+  e_source_hash : Ucode.Hash.t;
+  e_ext_hash : Ucode.Hash.t;
+  e_isom : string;
+}
+
+type t = entry list
+
+let find t module_name =
+  List.find_opt (fun e -> e.e_module = module_name) t
+
+let parse_line path line =
+  match String.split_on_char ' ' line with
+  | [ e_module; e_source_hash; e_ext_hash; e_isom ]
+    when e_module <> "" && String.length e_source_hash = 32
+         && String.length e_ext_hash = 32 && e_isom <> "" ->
+    Ok { e_module; e_source_hash; e_ext_hash; e_isom }
+  | _ -> Error (path ^ ": malformed manifest entry: " ^ line)
+
+let load ~path =
+  match Store.load ~path ~magic ~version with
+  | Error _ as e -> e
+  | Ok None -> Ok []
+  | Ok (Some payload) ->
+    let lines =
+      List.filter (fun l -> l <> "") (String.split_on_char '\n' payload)
+    in
+    List.fold_left
+      (fun acc line ->
+        match (acc, parse_line path line) with
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e
+        | Ok entries, Ok entry -> Ok (entry :: entries))
+      (Ok []) lines
+    |> Result.map List.rev
+
+let save ~path t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s %s\n" e.e_module e.e_source_hash
+           e.e_ext_hash e.e_isom))
+    t;
+  Store.save ~path ~magic ~version (Buffer.contents buf)

@@ -1,0 +1,30 @@
+(** The incremental build manifest: what the last build compiled, and
+    from what.
+
+    One entry per module, recording the source hash and export-
+    environment hash the module's isom was built from plus the isom's
+    path.  The driver consults it to decide which modules can skip
+    recompilation.  Stored in the shared {!Store} container; a missing
+    or corrupt manifest degrades to "everything is dirty", never an
+    error. *)
+
+type entry = {
+  e_module : string;
+  e_source_hash : Ucode.Hash.t;
+  e_ext_hash : Ucode.Hash.t;
+  e_isom : string;  (** path of the module's isom file *)
+}
+
+type t = entry list
+
+(** Conventional file name inside the isom directory. *)
+val file_name : string
+
+val find : t -> string -> entry option
+
+(** [Ok []] when the file does not exist; [Error] on a corrupt file
+    (callers typically treat that as an empty manifest too, but may
+    want to count it). *)
+val load : path:string -> (t, string) result
+
+val save : path:string -> t -> (unit, string) result

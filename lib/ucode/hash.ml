@@ -100,4 +100,9 @@ type t = string
 let routine_body_hash (r : routine) : t =
   Digest.to_hex (Digest.string (routine_body_bytes r))
 
+(** Digest of arbitrary bytes in the same hex format as routine
+    hashes; used for source-content and export-environment hashes in
+    the isom layer. *)
+let string_hash (s : string) : t = Digest.to_hex (Digest.string s)
+
 let pp = Fmt.string

@@ -15,4 +15,8 @@ val routine_body_hash : Types.routine -> t
     tests; injective by construction — tags plus explicit lengths). *)
 val routine_body_bytes : Types.routine -> string
 
+(** Digest of arbitrary bytes in the same hex format — the
+    source-content and export-environment hashes of the isom layer. *)
+val string_hash : string -> t
+
 val pp : Format.formatter -> t -> unit

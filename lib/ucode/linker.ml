@@ -26,9 +26,16 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
 
 let mangle module_name name = module_name ^ "$" ^ name
 
-(** [link ~main modules] produces a whole program.  [main] is the
-    source-level name of the entry routine, which must be exported. *)
-let link ?(main = "main") (modules : module_ir list) : program =
+type maps = {
+  lm_routines : (string * string) list String_map.t;
+  lm_sites : (site * site) list String_map.t;
+}
+
+(** [link_with_maps ~main modules] produces a whole program plus the
+    renaming maps applied.  [main] is the source-level name of the
+    entry routine, which must be exported. *)
+let link_with_maps ?(main = "main") (modules : module_ir list) :
+    program * maps =
   (* Detect duplicate module names early. *)
   let seen = Hashtbl.create 8 in
   List.iter
@@ -37,8 +44,9 @@ let link ?(main = "main") (modules : module_ir list) : program =
       Hashtbl.replace seen m.m_name ())
     modules;
   (* Pass 1: global rename maps.  [exported_*] map a source name to its
-     final name; [local_*] are per-module. *)
-  let exported_routines = Hashtbl.create 64 in
+     final name (remembering the exporting module for error messages);
+     [local_*] are per-module. *)
+  let exported_routines = Hashtbl.create 64 in (* name -> (final, module) *)
   let exported_globals = Hashtbl.create 64 in
   let local_routines = Hashtbl.create 64 in (* (module, name) -> final *)
   let local_globals = Hashtbl.create 64 in
@@ -46,40 +54,52 @@ let link ?(main = "main") (modules : module_ir list) : program =
     (fun m ->
       List.iter
         (fun (r : routine) ->
+          (* In-module duplicates first, so two exported copies inside
+             one module read "defined twice", not "exported by both
+             module m and module m". *)
+          if Hashtbl.mem local_routines (m.m_name, r.r_name) then
+            fail "routine %s defined twice in module %s" r.r_name m.m_name;
           let final =
             match r.r_linkage with
             | Exported ->
-              if Hashtbl.mem exported_routines r.r_name then
-                fail "routine %s exported by two modules" r.r_name;
-              Hashtbl.replace exported_routines r.r_name r.r_name;
+              (match Hashtbl.find_opt exported_routines r.r_name with
+              | Some (_, first) ->
+                fail "routine %s exported by both module %s and module %s"
+                  r.r_name first m.m_name
+              | None -> ());
+              Hashtbl.replace exported_routines r.r_name (r.r_name, m.m_name);
               r.r_name
             | Module_local -> mangle m.m_name r.r_name
           in
-          if Hashtbl.mem local_routines (m.m_name, r.r_name) then
-            fail "routine %s defined twice in module %s" r.r_name m.m_name;
           Hashtbl.replace local_routines (m.m_name, r.r_name) final)
         m.m_routines;
       List.iter
         (fun (g : global) ->
+          if Hashtbl.mem local_globals (m.m_name, g.g_name) then
+            fail "global %s defined twice in module %s" g.g_name m.m_name;
           let final =
             match g.g_linkage with
             | Exported ->
-              if Hashtbl.mem exported_globals g.g_name then
-                fail "global %s exported by two modules" g.g_name;
-              Hashtbl.replace exported_globals g.g_name g.g_name;
+              (match Hashtbl.find_opt exported_globals g.g_name with
+              | Some (_, first) ->
+                fail "global %s exported by both module %s and module %s"
+                  g.g_name first m.m_name
+              | None -> ());
+              Hashtbl.replace exported_globals g.g_name (g.g_name, m.m_name);
               g.g_name
             | Module_local -> mangle m.m_name g.g_name
           in
-          if Hashtbl.mem local_globals (m.m_name, g.g_name) then
-            fail "global %s defined twice in module %s" g.g_name m.m_name;
           Hashtbl.replace local_globals (m.m_name, g.g_name) final)
         m.m_globals)
     modules;
-  (* Pass 2: rewrite bodies. *)
+  (* Pass 2: rewrite bodies, recording the (local site -> final site)
+     pairs per module as sites are renumbered. *)
   let next_site = ref 0 in
-  let fresh_site () =
+  let site_pairs = ref [] in (* current module's pairs, newest first *)
+  let fresh_site local =
     let s = !next_site in
     incr next_site;
+    site_pairs := (local, s) :: !site_pairs;
     s
   in
   let resolve_routine m name =
@@ -87,7 +107,7 @@ let link ?(main = "main") (modules : module_ir list) : program =
     | Some final -> final
     | None -> (
       match Hashtbl.find_opt exported_routines name with
-      | Some final -> final
+      | Some (final, _) -> final
       | None ->
         if is_builtin name then name
         else fail "module %s: reference to undefined routine %s" m name)
@@ -97,7 +117,7 @@ let link ?(main = "main") (modules : module_ir list) : program =
     | Some final -> final
     | None -> (
       match Hashtbl.find_opt exported_globals name with
-      | Some final -> final
+      | Some (final, _) -> final
       | None -> fail "module %s: reference to undefined global %s" m name)
   in
   let rewrite_instr m = function
@@ -107,7 +127,7 @@ let link ?(main = "main") (modules : module_ir list) : program =
         | Direct n -> Direct (resolve_routine m n)
         | Indirect r -> Indirect r
       in
-      Call { c with c_callee; c_site = fresh_site () }
+      Call { c with c_callee; c_site = fresh_site c.c_site }
     | Faddr (d, n) -> Faddr (d, resolve_routine m n)
     | Gaddr (d, n) -> Gaddr (d, resolve_global m n)
     | other -> other
@@ -121,9 +141,22 @@ let link ?(main = "main") (modules : module_ir list) : program =
     { r with r_name = Hashtbl.find local_routines (m, r.r_name);
              r_blocks = blocks }
   in
+  let routine_maps = ref String_map.empty in
+  let site_maps = ref String_map.empty in
   let routines =
     List.concat_map
-      (fun m -> List.map (rewrite_routine m.m_name) m.m_routines)
+      (fun m ->
+        site_pairs := [];
+        let rs = List.map (rewrite_routine m.m_name) m.m_routines in
+        routine_maps :=
+          String_map.add m.m_name
+            (List.map
+               (fun (r : routine) ->
+                 (r.r_name, Hashtbl.find local_routines (m.m_name, r.r_name)))
+               m.m_routines)
+            !routine_maps;
+        site_maps := String_map.add m.m_name (List.rev !site_pairs) !site_maps;
+        rs)
       modules
   in
   let globals =
@@ -137,7 +170,7 @@ let link ?(main = "main") (modules : module_ir list) : program =
   in
   let main_final =
     match Hashtbl.find_opt exported_routines main with
-    | Some f -> f
+    | Some (f, _) -> f
     | None -> fail "no exported routine named %s" main
   in
   let program =
@@ -148,4 +181,6 @@ let link ?(main = "main") (modules : module_ir list) : program =
   | [] -> ()
   | errors -> fail "linked program is malformed:\n%s"
                 (Validate.errors_to_string errors));
-  program
+  (program, { lm_routines = !routine_maps; lm_sites = !site_maps })
+
+let link ?main modules = fst (link_with_maps ?main modules)

@@ -37,6 +37,13 @@ let site_count t site = Option.value ~default:0.0 (Int_map.find_opt site t.sites
 let site_targets t site =
   Option.value ~default:[] (Int_map.find_opt site t.targets)
 
+(** All recorded block counts of one routine, sorted by label; the
+    shape the isom layer stores per-module profile fragments in. *)
+let blocks_of_routine t routine =
+  match String_map.find_opt routine t.blocks with
+  | None -> []
+  | Some m -> Int_map.bindings m
+
 let entry_count t (r : routine) =
   block_count t ~routine:r.r_name ~block:(entry_block r).b_id
 

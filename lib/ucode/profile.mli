@@ -22,6 +22,9 @@ val block_count : t -> routine:string -> block:Types.label -> float
 val site_count : t -> Types.site -> float
 val site_targets : t -> Types.site -> (string * float) list
 
+(** All recorded block counts of one routine, sorted by label. *)
+val blocks_of_routine : t -> string -> (Types.label * float) list
+
 (** Count of the routine's entry block = its dynamic invocations. *)
 val entry_count : t -> Types.routine -> float
 

@@ -456,11 +456,73 @@ let test_linker_duplicate_export () =
   let m = {| func f() { return 1; } func main() { return 0; } |} in
   let m2 = {| func f() { return 2; } |} in
   Alcotest.check_raises "duplicate export"
-    (Ucode.Linker.Link_error "routine f exported by two modules") (fun () ->
+    (Ucode.Linker.Link_error
+       "routine f exported by both module a and module b") (fun () ->
       ignore
         (Minic.Compile.compile_program
            [ Minic.Compile.source ~module_name:"a" m;
              Minic.Compile.source ~module_name:"b" m2 ]))
+
+(* Error paths that only hand-built module IR can reach (the front end
+   rejects these shapes before the linker sees them).  Every message
+   must name the offending module and symbol. *)
+
+let tiny_routine ?(linkage = U.Exported) ?(body = []) name =
+  { U.r_name = name; r_module = "ir"; r_params = [];
+    r_blocks =
+      [ { U.b_id = 0;
+          b_instrs = U.Const (0, 0L) :: body;
+          b_term = U.Return (Some 0) } ];
+    r_next_reg = 1; r_next_label = 1; r_attrs = U.default_attrs;
+    r_linkage = linkage; r_origin = U.From_source }
+
+let test_linker_duplicate_in_module_definition () =
+  let f = tiny_routine "f" in
+  let m = { Ucode.Linker.m_name = "m";
+            m_routines = [ f; f; tiny_routine "main" ]; m_globals = [] } in
+  Alcotest.check_raises "duplicate routine"
+    (Ucode.Linker.Link_error "routine f defined twice in module m")
+    (fun () -> ignore (Ucode.Linker.link [ m ]));
+  let g = { U.g_name = "g"; g_module = "m"; g_size = 1; g_init = [];
+            g_linkage = U.Exported } in
+  let m = { Ucode.Linker.m_name = "m";
+            m_routines = [ tiny_routine "main" ]; m_globals = [ g; g ] } in
+  Alcotest.check_raises "duplicate global"
+    (Ucode.Linker.Link_error "global g defined twice in module m")
+    (fun () -> ignore (Ucode.Linker.link [ m ]))
+
+let test_linker_unresolved_reference () =
+  let call =
+    U.Call { U.c_dst = None; c_callee = U.Direct "nosuch"; c_args = [];
+             c_site = 0 }
+  in
+  let m = { Ucode.Linker.m_name = "m";
+            m_routines = [ tiny_routine ~body:[ call ] "main" ];
+            m_globals = [] } in
+  Alcotest.check_raises "undefined routine"
+    (Ucode.Linker.Link_error "module m: reference to undefined routine nosuch")
+    (fun () -> ignore (Ucode.Linker.link [ m ]));
+  let m = { Ucode.Linker.m_name = "m";
+            m_routines =
+              [ tiny_routine ~body:[ U.Gaddr (0, "noglobal") ] "main" ];
+            m_globals = [] } in
+  Alcotest.check_raises "undefined global"
+    (Ucode.Linker.Link_error "module m: reference to undefined global noglobal")
+    (fun () -> ignore (Ucode.Linker.link [ m ]))
+
+let test_linker_missing_main () =
+  let m = { Ucode.Linker.m_name = "m"; m_routines = [ tiny_routine "f" ];
+            m_globals = [] } in
+  Alcotest.check_raises "no entry point"
+    (Ucode.Linker.Link_error "no exported routine named main")
+    (fun () -> ignore (Ucode.Linker.link [ m ]));
+  (* A module-local routine with the right name is not an entry point. *)
+  let m = { Ucode.Linker.m_name = "m";
+            m_routines = [ tiny_routine ~linkage:U.Module_local "main" ];
+            m_globals = [] } in
+  Alcotest.check_raises "static main is not exported"
+    (Ucode.Linker.Link_error "no exported routine named main")
+    (fun () -> ignore (Ucode.Linker.link [ m ]))
 
 let test_linker_renumbers_sites () =
   let m1 = {| func f() { return g(); } func main() { return f(); } |} in
@@ -578,4 +640,9 @@ let () =
       ( "linker",
         [ Alcotest.test_case "static mangling" `Quick test_linker_mangles_statics;
           Alcotest.test_case "duplicate export" `Quick test_linker_duplicate_export;
+          Alcotest.test_case "duplicate in-module definition" `Quick
+            test_linker_duplicate_in_module_definition;
+          Alcotest.test_case "unresolved reference" `Quick
+            test_linker_unresolved_reference;
+          Alcotest.test_case "missing main" `Quick test_linker_missing_main;
           Alcotest.test_case "site renumbering" `Quick test_linker_renumbers_sites ] ) ]
