@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-json ci clean
+.PHONY: all build check test bench bench-json fuzz-smoke ci clean
 
 all: build
 
@@ -18,6 +18,13 @@ bench:
 # isom build timings (BENCH_pr4.json).
 bench-json:
 	dune exec bench/bench_json.exe
+
+# Fixed-seed differential fuzz: corpus + random programs through the
+# semantic oracle for ~30s.  Nonzero exit on any mismatch or crash;
+# repros (bucketed, reduced) land under _build/fuzz/.
+fuzz-smoke:
+	dune exec bin/hlo_fuzz.exe -- --seed 1 --iters 400 --time-budget 30 \
+	  --out _build/fuzz
 
 ci:
 	./ci.sh

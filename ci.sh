@@ -88,6 +88,30 @@ grep -q 'recompiled telemetry_main: unreadable' "$tmp/inc-corrupt.txt"
 diff -u <(grep -v '^\[isom\]' "$tmp/inc-corrupt.txt") "$tmp/whole.txt"
 echo "truncated isom recompiled transparently, output identical"
 
+echo "== differential fuzz smoke (hlo_fuzz, fixed seed) =="
+# Corpus + random programs through the semantic oracle for ~30s.
+# A nonzero exit means a real finding; the bucketed, reduced repros
+# are left under _build/fuzz for inspection.
+rm -rf _build/fuzz
+dune exec bin/hlo_fuzz.exe -- --seed 1 --iters 400 --time-budget 30 \
+  --out _build/fuzz
+
+echo "== chaos validation (hlo_fuzz --chaos must catch each seeded bug) =="
+# Arm each deliberate miscompilation in turn: the smoke budget must
+# catch it (nonzero exit) and the reducer must shrink the repro.
+for bug in inline_swap_args inline_lost_retval clone_const_drift \
+           prune_address_taken; do
+  if dune exec bin/hlo_fuzz.exe -- --seed 1 --iters 120 --time-budget 60 \
+       --chaos "$bug" --out "$tmp/chaos-$bug" > "$tmp/chaos-$bug.log" 2>&1; then
+    echo "chaos bug $bug was NOT caught"
+    cat "$tmp/chaos-$bug.log"
+    exit 1
+  fi
+  grep -q 'reduced to' "$tmp/chaos-$bug.log"
+  ls "$tmp/chaos-$bug"/*/reduced/repro.mc > /dev/null
+  echo "caught and reduced: $bug"
+done
+
 echo "== telemetry smoke run (hloc --trace) =="
 dune exec bin/hloc.exe -- \
   examples/telemetry_util.mc examples/telemetry_main.mc \

@@ -1,0 +1,28 @@
+type bug =
+  | Inline_swap_args
+  | Inline_lost_retval
+  | Clone_const_drift
+  | Prune_address_taken
+
+let all =
+  [ Inline_swap_args; Inline_lost_retval; Clone_const_drift;
+    Prune_address_taken ]
+
+let name = function
+  | Inline_swap_args -> "inline_swap_args"
+  | Inline_lost_retval -> "inline_lost_retval"
+  | Clone_const_drift -> "clone_const_drift"
+  | Prune_address_taken -> "prune_address_taken"
+
+let of_name s = List.find_opt (fun b -> name b = s) all
+
+let active : bug option ref = ref None
+
+let armed () = !active
+let arm b = active := b
+let enabled b = !active = Some b
+
+let with_bug b f =
+  let saved = !active in
+  active := Some b;
+  Fun.protect ~finally:(fun () -> active := saved) f

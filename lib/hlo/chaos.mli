@@ -1,0 +1,44 @@
+(** Deliberate miscompilation injection (testing only).
+
+    Each {!bug} is a known-bad mutation of one HLO transformation,
+    kept behind a flag that nothing in the production pipeline ever
+    sets.  The differential fuzzer ([hlo_fuzz --chaos BUG]) and the
+    oracle test suite arm one bug at a time to validate that the
+    semantic oracle actually catches real miscompilations and that the
+    delta-debugging reducer shrinks them to small repros.
+
+    The flag is process-global and not domain-safe by design: chaos
+    runs are single-threaded test harness runs. *)
+
+type bug =
+  | Inline_swap_args
+      (** {!Inliner.perform_inline} binds actuals to formals in
+          reverse order. *)
+  | Inline_lost_retval
+      (** inlined returns write 0 into the call's destination instead
+          of the returned value *)
+  | Clone_const_drift
+      (** {!Clone_spec.make_clone} specializes constant bindings to
+          [k+1] instead of [k] *)
+  | Prune_address_taken
+      (** {!Driver}'s unreachable-routine deletion ignores [Faddr]
+          references, deleting routines that are only reached through
+          function handles *)
+
+val all : bug list
+
+val name : bug -> string
+
+val of_name : string -> bug option
+
+(** Currently armed bug, if any.  Default: none. *)
+val armed : unit -> bug option
+
+val arm : bug option -> unit
+
+(** [enabled b] — is bug [b] armed right now?  One comparison; free
+    enough to sit on transformation hot paths. *)
+val enabled : bug -> bool
+
+(** Run [f] with [b] armed, restoring the previous state after. *)
+val with_bug : bug -> (unit -> 'a) -> 'a

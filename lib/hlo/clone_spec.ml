@@ -99,7 +99,12 @@ let make_clone ~(callee : U.routine) ~(clone_name : string)
       (fun (i, b) ->
         let reg = param_array.(i) in
         match b with
-        | Bconst k -> U.Const (reg, k)
+        | Bconst k ->
+          let k =
+            if Chaos.enabled Chaos.Clone_const_drift then Int64.add k 1L
+            else k
+          in
+          U.Const (reg, k)
         | Bfun f -> U.Faddr (reg, f))
       t.cs_bindings
   in

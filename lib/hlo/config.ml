@@ -64,3 +64,51 @@ let with_scope t = function
     neither. *)
 let with_transforms t ~inline ~clone =
   { t with enable_inlining = inline; enable_cloning = clone }
+
+(** The scope the [cross_module]/[use_profile] pair encodes. *)
+let scope_of t =
+  match (t.cross_module, t.use_profile) with
+  | false, false -> Base
+  | true, false -> C
+  | false, true -> P
+  | true, true -> CP
+
+let staging_to_string staging =
+  String.concat "," (List.map (Printf.sprintf "%g") staging)
+
+(** Parse a comma-separated staging list ("0.25,0.5,1").  The inverse
+    of {!staging_to_string}. *)
+let staging_of_string s =
+  match
+    List.map
+      (fun part -> float_of_string (String.trim part))
+      (String.split_on_char ',' s)
+  with
+  | fractions when fractions <> [] -> Ok fractions
+  | _ | (exception Failure _) -> Error ("bad staging list: " ^ s)
+
+(** Command-line flags (in [hloc]/[hlo_fuzz] syntax) reproducing [t]'s
+    deviation from {!default} — the fuzzer writes these into each
+    bucket's replay command so a repro pins the exact configuration. *)
+let to_flags t =
+  let d = default in
+  List.concat
+    [ (if scope_of t <> scope_of d then [ "--scope"; scope_name (scope_of t) ]
+       else []);
+      (if t.budget_percent <> d.budget_percent then
+         [ "--budget"; Printf.sprintf "%g" t.budget_percent ]
+       else []);
+      (if t.pass_limit <> d.pass_limit then
+         [ "--passes"; string_of_int t.pass_limit ]
+       else []);
+      (if t.staging <> d.staging then
+         [ "--staging"; staging_to_string t.staging ]
+       else []);
+      (if not t.enable_inlining then [ "--no-inline" ] else []);
+      (if not t.enable_cloning then [ "--no-clone" ] else []);
+      (if t.enable_outlining then [ "--outline" ] else []);
+      (match t.max_operations with
+      | Some n -> [ "--max-operations"; string_of_int n ]
+      | None -> []);
+      (if not t.optimize_between_passes then [ "--no-reopt" ] else []);
+      (if t.validate then [ "--validate" ] else []) ]

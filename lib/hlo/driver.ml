@@ -19,6 +19,14 @@ type result = {
   report : Report.t;
 }
 
+exception Invalid_ir of { stage : string; errors : string }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_ir { stage; errors } ->
+      Some (Printf.sprintf "HLO produced malformed IR (%s):\n%s" stage errors)
+    | _ -> None)
+
 (** Delete routines that can no longer execute: module-local routines
     and clones unreachable (via direct calls or taken addresses) from
     [main] and the exported user routines.  The count feeds Table 1's
@@ -36,7 +44,8 @@ let delete_unreachable ?(pass = -1) (st : State.t) : unit =
         List.filter_map
           (function
             | U.Call { c_callee = U.Direct n; _ } -> Some n
-            | U.Faddr (_, n) -> Some n
+            | U.Faddr (_, n) ->
+              if Chaos.enabled Chaos.Prune_address_taken then None else Some n
             | _ -> None)
           b.U.b_instrs)
       r.U.r_blocks
@@ -78,9 +87,9 @@ let validate_if_needed (st : State.t) ~where =
     match Ucode.Validate.check_program st.State.program with
     | [] -> ()
     | errors ->
-      invalid_arg
-        (Printf.sprintf "HLO produced malformed IR (%s):\n%s" where
-           (Ucode.Validate.errors_to_string errors))
+      raise
+        (Invalid_ir
+           { stage = where; errors = Ucode.Validate.errors_to_string errors })
 
 (** Run HLO.  [profile] should come from {!Interp.train} on the same
     (pre-HLO) program; pass {!Ucode.Profile.empty} for a heuristics-only
@@ -97,12 +106,14 @@ let run ?(config = Config.default) ?(profile = Ucode.Profile.empty)
     else program
   in
   let st = State.create config ~program ~profile in
+  validate_if_needed st ~where:"clean";
   st.State.report.Report.cost_before <- Ucode.Size.program_cost program;
   Budget.recalibrate st.State.budget
     ~measured_cost:(Ucode.Size.program_cost program);
   T.gauge "hlo.budget.allowance" st.State.budget.Budget.allowance;
   (* The IPA dead-call cleanup above may already strand routines. *)
   T.with_span "hlo.prune" (fun () -> delete_unreachable st);
+  validate_if_needed st ~where:"initial prune";
   (* Outlining first (when enabled): shrinking hot routines by their
      cold regions both lowers the quadratic cost the budget is anchored
      on and keeps the inliner's attention on code that runs. *)
@@ -139,9 +150,11 @@ let run ?(config = Config.default) ?(profile = Ucode.Profile.empty)
     in
     validate_if_needed st ~where:(Printf.sprintf "inline pass %d" !pass);
     T.with_span "hlo.prune" (fun () -> delete_unreachable ~pass:!pass st);
+    validate_if_needed st ~where:(Printf.sprintf "prune pass %d" !pass);
     reoptimize st (touched_clone @ touched_inline);
     validate_if_needed st ~where:(Printf.sprintf "optimize after pass %d" !pass);
     T.with_span "hlo.prune" (fun () -> delete_unreachable ~pass:!pass st);
+    validate_if_needed st ~where:(Printf.sprintf "final prune pass %d" !pass);
     Budget.recalibrate st.State.budget
       ~measured_cost:(Ucode.Size.program_cost st.State.program);
     T.gauge "hlo.budget.spent" st.State.budget.Budget.spent;

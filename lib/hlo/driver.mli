@@ -11,6 +11,12 @@ type result = {
   report : Report.t;
 }
 
+(** Raised (when {!Config.t.validate} is set) if
+    {!Ucode.Validate.check_program} finds problems after any stage —
+    clean, outline, clone, inline, the between-pass optimizer, or
+    prune — naming the stage that produced the malformed IR. *)
+exception Invalid_ir of { stage : string; errors : string }
+
 (** [run ~config ~profile p] transforms [p].  [profile] should come
     from {!Interp.train} on the same (pre-HLO) program; pass
     {!Ucode.Profile.empty} for a heuristics-only compile. *)

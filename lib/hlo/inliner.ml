@@ -141,8 +141,12 @@ let perform_inline (st : State.t) ~(caller_name : string) ~(site : U.site) : uni
   in
   let join_label = copy.Ucode.Rename.cp_next_label in
   let binds =
+    let args =
+      if Chaos.enabled Chaos.Inline_swap_args then List.rev c.U.c_args
+      else c.U.c_args
+    in
     List.map2 (fun formal arg -> U.Move (formal, arg))
-      copy.Ucode.Rename.cp_params c.U.c_args
+      copy.Ucode.Rename.cp_params args
   in
   let pre_block =
     { b with U.b_instrs = pre @ binds;
@@ -156,6 +160,8 @@ let perform_inline (st : State.t) ~(caller_name : string) ~(site : U.site) : uni
     | U.Return v ->
       let extra =
         match (c.U.c_dst, v) with
+        | Some d, Some _ when Chaos.enabled Chaos.Inline_lost_retval ->
+          [ U.Const (d, 0L) ]
         | Some d, Some value -> [ U.Move (d, value) ]
         | Some d, None -> [ U.Const (d, 0L) ]
         | None, _ -> []

@@ -46,6 +46,7 @@ type result = {
   output : string;
   steps : int;  (** IR instructions executed *)
   profile : Ucode.Profile.t;  (** empty unless [~profile:true] *)
+  globals : (string * int64 array) list;  (** final values, program order *)
 }
 
 type config = {
@@ -244,6 +245,14 @@ let rec run_routine st (r : U.routine) (blocks : (int, U.block) Hashtbl.t)
   st.depth <- st.depth - 1;
   result
 
+(* Final (or trap-time) values of every global, in program order. *)
+let snapshot_globals st : (string * int64 array) list =
+  List.map
+    (fun (g : U.global) ->
+      let base = Hashtbl.find st.global_base g.U.g_name in
+      (g.U.g_name, Array.sub st.memory base g.U.g_size))
+    st.program.U.p_globals
+
 (* [span_name] distinguishes plain runs from training runs in traces. *)
 let run_spanned span_name config (p : U.program) : result =
   Telemetry.Collector.with_span span_name @@ fun () ->
@@ -256,7 +265,7 @@ let run_spanned span_name config (p : U.program) : result =
     Telemetry.Collector.count "interp.steps" st.steps
   end;
   { exit_code; output = Buffer.contents st.output; steps = st.steps;
-    profile = st.prof }
+    profile = st.prof; globals = snapshot_globals st }
 
 (** Run a program from its [main] routine (called with no arguments). *)
 let run ?(config = default_config) (p : U.program) : result =
@@ -266,3 +275,30 @@ let run ?(config = default_config) (p : U.program) : result =
     database alongside the result. *)
 let train ?(config = default_config) (p : U.program) : result =
   run_spanned "interp.train" { config with profile = true } p
+
+type outcome =
+  | Finished of result
+  | Trapped of { trap : trap; routine : string; partial : result }
+
+(** Like {!run}, but a trap is returned as a value together with the
+    observable state accumulated up to it (output printed so far and
+    the globals at trap time) instead of discarding that state with an
+    exception.  This is what the differential oracle compares: a
+    transformed program must trap the same way *and* have produced the
+    same observable effects before trapping. *)
+let run_outcome ?(config = default_config) (p : U.program) : outcome =
+  Telemetry.Collector.with_span "interp.run" @@ fun () ->
+  let st = make_state p config in
+  let main, main_blocks = Hashtbl.find st.routines p.U.p_main in
+  match run_routine st main main_blocks [] with
+  | exit_code ->
+    Finished
+      { exit_code; output = Buffer.contents st.output; steps = st.steps;
+        profile = st.prof; globals = snapshot_globals st }
+  | exception Trap (trap, routine) ->
+    Trapped
+      { trap; routine;
+        partial =
+          { exit_code = 0L; output = Buffer.contents st.output;
+            steps = st.steps; profile = st.prof;
+            globals = snapshot_globals st } }

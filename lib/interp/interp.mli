@@ -32,6 +32,9 @@ type result = {
   output : string;     (** everything printed via the builtins *)
   steps : int;         (** IR instructions executed *)
   profile : Ucode.Profile.t;  (** empty unless profiling was on *)
+  globals : (string * int64 array) list;
+      (** final value of every global, in program order — part of the
+          observable state the semantic oracle compares *)
 }
 
 type config = {
@@ -48,3 +51,14 @@ val run : ?config:config -> Ucode.Types.program -> result
 
 (** The instrumented training run: {!run} with profiling enabled. *)
 val train : ?config:config -> Ucode.Types.program -> result
+
+type outcome =
+  | Finished of result
+  | Trapped of { trap : trap; routine : string; partial : result }
+      (** [partial] holds the observable state at trap time: output
+          printed so far, globals, steps.  Its [exit_code] is 0. *)
+
+(** {!run}, but with traps reified as values instead of exceptions, so
+    differential comparisons can also check the observable effects a
+    trapping program performed before the trap. *)
+val run_outcome : ?config:config -> Ucode.Types.program -> outcome

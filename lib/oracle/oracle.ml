@@ -1,0 +1,7 @@
+(* The public face of the differential-correctness subsystem: the
+   semantic oracle itself (Sem) flattened into this namespace, with the
+   fuzz engine and the delta-debugging reducer as submodules. *)
+
+include Sem
+module Fuzz = Fuzz
+module Reduce = Reduce

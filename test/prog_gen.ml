@@ -1,23 +1,95 @@
 (* Random-program generation shared by the property suites
-   (test_properties.ml) and the parallel determinism suite
-   (test_parallel.ml).
+   (test_properties.ml, test_oracle.ml), the parallel determinism suite
+   (test_parallel.ml) and the differential fuzzer (bin/hlo_fuzz).
 
-   The central tool is a generator of random — but always terminating
-   and trap-free by construction — multi-module MiniC programs that
-   print observable values, plus the outcome helpers used to compare
-   engines differentially. *)
+   Programs are generated as a structured [shape] — a list of function
+   records plus a main body — so qcheck can shrink them (drop
+   statements, drop whole functions) before rendering to MiniC text.
+   With the default {!tame_opts} programs are always terminating and
+   trap-free by construction; {!wild_opts} additionally exercises
+   indirect calls through function handles, direct calls with arity
+   mismatches, trapping operations and deeper nesting. *)
 
 module U = Ucode.Types
 module Gen = QCheck.Gen
 
 (* ------------------------------------------------------------------ *)
-(* Random program generator.                                           *)
+(* Feature switches.                                                   *)
+
+type shape_opts = {
+  so_indirect : bool;
+      (** handle-typed locals ([var h2 = f0;]) called indirectly; the
+          handle is used *only* in call position — printing or storing
+          one would not survive transformation, since handles are
+          per-run routine indices *)
+  so_mismatch : bool;
+      (** direct calls with one argument too many / too few (a warning;
+          the convention pads with zeros or drops extras) *)
+  so_traps : bool;
+      (** unguarded division, unmasked array indexing, conditional
+          [abort()], indirect calls with wrong arity *)
+  so_nested : bool;  (** deeper statement nesting and bigger bodies *)
+}
+
+let tame_opts =
+  { so_indirect = false; so_mismatch = false; so_traps = false;
+    so_nested = false }
+
+let wild_opts =
+  { so_indirect = true; so_mismatch = true; so_traps = true;
+    so_nested = true }
+
+(* ------------------------------------------------------------------ *)
+(* Shapes.                                                             *)
+
+type fn = {
+  fn_name : string;
+  fn_static : bool;
+  fn_params : string list;
+  fn_body : string list;  (* statements *)
+  fn_ret : string;        (* the return expression *)
+}
+
+type shape = {
+  sh_funcs : fn list;     (* acyclic: each may only call earlier ones *)
+  sh_main : string list;  (* main body statements *)
+}
+
+let render_fn f =
+  Printf.sprintf "%s func %s(%s) { %s return %s; }"
+    (if f.fn_static then "static" else "")
+    f.fn_name
+    (String.concat ", " f.fn_params)
+    (String.concat " " f.fn_body)
+    f.fn_ret
+
+(* The library's globals are public so both modules touch them; main
+   ends by printing the shared state, making most computation
+   observable. *)
+let render_shape (sh : shape) : Minic.Compile.source list =
+  let lib =
+    "public global ga[16];\npublic global gs;\npublic global gt = 3;\n"
+    ^ String.concat "\n" (List.map render_fn sh.sh_funcs)
+  in
+  let main =
+    Printf.sprintf
+      "func main() { %s print_int(gs); print_int(gt); print_int(ga[3]); \
+       return 0; }"
+      (String.concat " " sh.sh_main)
+  in
+  [ Minic.Compile.source ~module_name:"lib" lib;
+    Minic.Compile.source ~module_name:"app" main ]
+
+(* ------------------------------------------------------------------ *)
+(* Random generation.                                                  *)
 
 (* State threaded through generation: a name supply. *)
 type genv = {
   mutable next_local : int;
   funcs_below : (string * int) list;  (* callable (name, arity) *)
-  mutable locals : string list;       (* in scope *)
+  mutable locals : string list;       (* value locals, in scope *)
+  mutable handles : (string * int) list;
+      (* handle locals (name, target arity) — call position only *)
 }
 
 (* Int64.min_int has no literal form (the lexer sees MINUS applied to
@@ -32,7 +104,7 @@ let small_const =
       Gen.oneofl [ 0L; 1L; 2L; 7L; 255L; 65535L; -1L; Int64.max_int;
                    Int64.min_int ] ]
 
-let rec gen_expr env depth st =
+let rec gen_expr opts env depth st =
   let atom =
     Gen.oneof
       ([ Gen.map const_to_string small_const ]
@@ -44,142 +116,235 @@ let rec gen_expr env depth st =
     match Gen.int_range 0 9 st with
     | 0 | 1 ->
       Printf.sprintf "(%s %s %s)"
-        (gen_expr env (depth - 1) st)
+        (gen_expr opts env (depth - 1) st)
         (Gen.oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] st)
-        (gen_expr env (depth - 1) st)
+        (gen_expr opts env (depth - 1) st)
     | 2 ->
-      (* Division with a guarded positive divisor. *)
-      Printf.sprintf "(%s %s ((%s & 1023) + 1))"
-        (gen_expr env (depth - 1) st)
-        (Gen.oneofl [ "/"; "%" ] st)
-        (gen_expr env (depth - 1) st)
+      if opts.so_traps && Gen.int_range 0 4 st = 0 then
+        (* Unguarded: traps whenever the divisor evaluates to zero. *)
+        Printf.sprintf "(%s %s %s)"
+          (gen_expr opts env (depth - 1) st)
+          (Gen.oneofl [ "/"; "%" ] st)
+          (gen_expr opts env (depth - 1) st)
+      else
+        (* Division with a guarded positive divisor. *)
+        Printf.sprintf "(%s %s ((%s & 1023) + 1))"
+          (gen_expr opts env (depth - 1) st)
+          (Gen.oneofl [ "/"; "%" ] st)
+          (gen_expr opts env (depth - 1) st)
     | 3 ->
       Printf.sprintf "(%s %s (%s & 15))"
-        (gen_expr env (depth - 1) st)
+        (gen_expr opts env (depth - 1) st)
         (Gen.oneofl [ "<<"; ">>" ] st)
-        (gen_expr env (depth - 1) st)
+        (gen_expr opts env (depth - 1) st)
     | 4 ->
       Printf.sprintf "(%s %s %s)"
-        (gen_expr env (depth - 1) st)
+        (gen_expr opts env (depth - 1) st)
         (Gen.oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] st)
-        (gen_expr env (depth - 1) st)
+        (gen_expr opts env (depth - 1) st)
     | 5 ->
       Printf.sprintf "(%s %s %s)"
-        (gen_expr env (depth - 1) st)
+        (gen_expr opts env (depth - 1) st)
         (Gen.oneofl [ "&&"; "||" ] st)
-        (gen_expr env (depth - 1) st)
+        (gen_expr opts env (depth - 1) st)
     | 6 -> Printf.sprintf "(%s(%s))" (Gen.oneofl [ "-"; "!" ] st)
-             (gen_expr env (depth - 1) st)
-    | 7 -> Printf.sprintf "ga[(%s) & 15]" (gen_expr env (depth - 1) st)
+             (gen_expr opts env (depth - 1) st)
+    | 7 ->
+      if opts.so_traps && Gen.int_range 0 5 st = 0 then
+        (* Unmasked: traps when the index leaves [0, 16). *)
+        Printf.sprintf "ga[(%s)]" (gen_expr opts env (depth - 1) st)
+      else Printf.sprintf "ga[(%s) & 15]" (gen_expr opts env (depth - 1) st)
     | 8 when env.funcs_below <> [] ->
       let name, arity = Gen.oneofl env.funcs_below st in
       let args =
-        List.init arity (fun _ -> gen_expr env (depth - 1) st)
+        List.init arity (fun _ -> gen_expr opts env (depth - 1) st)
       in
       Printf.sprintf "%s(%s)" name (String.concat ", " args)
     | _ -> atom st
 
-let rec gen_stmts env ~depth ~fuel st : string list =
+(* A direct-call argument list, possibly off by one in either
+   direction when mismatches are enabled. *)
+let gen_call_args opts env arity st =
+  let n =
+    if opts.so_mismatch then
+      match Gen.int_range 0 3 st with
+      | 0 -> arity + 1
+      | 1 -> max 0 (arity - 1)
+      | _ -> arity
+    else arity
+  in
+  List.init n (fun _ -> gen_expr opts env 2 st)
+
+let rec gen_stmts opts env ~depth ~fuel st : string list =
   if fuel <= 0 then []
   else
     let stmt =
-      match Gen.int_range 0 9 st with
+      match Gen.int_range 0 (if opts.so_indirect then 12 else 9) st with
       | 0 | 1 ->
         let name = Printf.sprintf "t%d" env.next_local in
         env.next_local <- env.next_local + 1;
-        let s = Printf.sprintf "var %s = %s;" name (gen_expr env 2 st) in
+        let s = Printf.sprintf "var %s = %s;" name (gen_expr opts env 2 st) in
         env.locals <- name :: env.locals;
         [ s ]
       | 2 when env.locals <> [] ->
         [ Printf.sprintf "%s = %s;" (Gen.oneofl env.locals st)
-            (gen_expr env 2 st) ]
+            (gen_expr opts env 2 st) ]
       | 3 ->
         [ Printf.sprintf "%s = %s;" (Gen.oneofl [ "gs"; "gt" ] st)
-            (gen_expr env 2 st) ]
+            (gen_expr opts env 2 st) ]
       | 4 ->
-        [ Printf.sprintf "ga[(%s) & 15] = %s;" (gen_expr env 1 st)
-            (gen_expr env 2 st) ]
+        [ Printf.sprintf "ga[(%s) & 15] = %s;" (gen_expr opts env 1 st)
+            (gen_expr opts env 2 st) ]
       | 5 when depth > 0 ->
-        let saved = env.locals in
-        let then_ = gen_stmts env ~depth:(depth - 1) ~fuel:(fuel / 2) st in
+        let saved = env.locals and saved_h = env.handles in
+        let then_ = gen_stmts opts env ~depth:(depth - 1) ~fuel:(fuel / 2) st in
         env.locals <- saved;
-        let else_ = gen_stmts env ~depth:(depth - 1) ~fuel:(fuel / 2) st in
+        env.handles <- saved_h;
+        let else_ = gen_stmts opts env ~depth:(depth - 1) ~fuel:(fuel / 2) st in
         env.locals <- saved;
-        [ Printf.sprintf "if (%s) { %s } else { %s }" (gen_expr env 2 st)
+        env.handles <- saved_h;
+        [ Printf.sprintf "if (%s) { %s } else { %s }" (gen_expr opts env 2 st)
             (String.concat " " then_) (String.concat " " else_) ]
       | 6 when depth > 0 ->
-        (* A loop bounded by construction; the body may break early. *)
+        (* A loop bounded by construction; the body may break early.
+           With [so_nested] the recursion depth below allows loops in
+           loops in loops. *)
         let i = Printf.sprintf "i%d" env.next_local in
         env.next_local <- env.next_local + 1;
         let bound = Gen.int_range 1 5 st in
-        let saved = env.locals in
+        let saved = env.locals and saved_h = env.handles in
         env.locals <- i :: env.locals;
-        let body = gen_stmts env ~depth:(depth - 1) ~fuel:(fuel / 2) st in
+        let body = gen_stmts opts env ~depth:(depth - 1) ~fuel:(fuel / 2) st in
         let break_ =
           if Gen.bool st then
-            Printf.sprintf "if (%s) { break; }" (gen_expr env 1 st)
+            Printf.sprintf "if (%s) { break; }" (gen_expr opts env 1 st)
           else ""
         in
         env.locals <- saved;
+        env.handles <- saved_h;
         [ Printf.sprintf "for (var %s = 0; %s < %d; %s = %s + 1) { %s %s }" i i
             bound i i
             (String.concat " " body)
             break_ ]
-      | 7 -> [ Printf.sprintf "print_int(%s);" (gen_expr env 2 st) ]
+      | 7 -> [ Printf.sprintf "print_int(%s);" (gen_expr opts env 2 st) ]
       | 8 when env.funcs_below <> [] ->
         let name, arity = Gen.oneofl env.funcs_below st in
-        let args = List.init arity (fun _ -> gen_expr env 2 st) in
+        let args = gen_call_args opts env arity st in
         [ Printf.sprintf "%s(%s);" name (String.concat ", " args) ]
-      | _ -> [ Printf.sprintf "gt = gt + %s;" (gen_expr env 1 st) ]
+      | 10 when env.funcs_below <> [] ->
+        (* Take a function's address into a handle local.  The handle
+           is only ever *called* (below); its numeric value is a
+           per-run routine index, so printing or storing it would make
+           the program's output transformation-dependent. *)
+        let name, arity = Gen.oneofl env.funcs_below st in
+        let h = Printf.sprintf "h%d" env.next_local in
+        env.next_local <- env.next_local + 1;
+        env.handles <- (h, arity) :: env.handles;
+        [ Printf.sprintf "var %s = %s;" h name ]
+      | 11 | 12 when env.handles <> [] ->
+        let h, arity = Gen.oneofl env.handles st in
+        let arity =
+          (* Wrong arity through a handle traps at run time. *)
+          if opts.so_traps && Gen.int_range 0 5 st = 0 then arity + 1
+          else arity
+        in
+        let args = List.init arity (fun _ -> gen_expr opts env 2 st) in
+        [ Printf.sprintf "gs = %s(%s);" h (String.concat ", " args) ]
+      | 9 when opts.so_traps && Gen.int_range 0 3 st = 0 ->
+        [ Printf.sprintf "if ((%s) == 77) { abort(); }"
+            (gen_expr opts env 2 st) ]
+      | _ -> [ Printf.sprintf "gt = gt + %s;" (gen_expr opts env 1 st) ]
     in
-    stmt @ gen_stmts env ~depth ~fuel:(fuel - 1) st
+    stmt @ gen_stmts opts env ~depth ~fuel:(fuel - 1) st
 
 (* One function definition; may only call [funcs_below] (acyclic call
    graph guarantees termination). *)
-let gen_func ~name ~funcs_below ~static st =
+let gen_fn opts ~name ~funcs_below ~static st : fn =
   let arity = Gen.int_range 0 3 st in
   let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
-  let env = { next_local = 0; funcs_below; locals = params } in
-  let body = gen_stmts env ~depth:2 ~fuel:(Gen.int_range 2 6 st) st in
-  let ret = Printf.sprintf "return %s;" (gen_expr env 2 st) in
-  ( Printf.sprintf "%s func %s(%s) { %s %s }"
-      (if static then "static" else "")
-      name (String.concat ", " params)
-      (String.concat " " body)
-      ret,
-    (name, arity) )
+  let env = { next_local = 0; funcs_below; locals = params; handles = [] } in
+  let depth = if opts.so_nested then 3 else 2 in
+  let body = gen_stmts opts env ~depth ~fuel:(Gen.int_range 2 6 st) st in
+  { fn_name = name; fn_static = static; fn_params = params; fn_body = body;
+    fn_ret = gen_expr opts env 2 st }
 
-(* A whole program: a library module and a main module.  The library's
-   globals are public so both modules touch them. *)
-let gen_program_sources st : Minic.Compile.source list =
+let gen_shape opts : shape Gen.t =
+ fun st ->
   let nfuncs = Gen.int_range 1 4 st in
   let rec build i acc_defs acc_callable =
     if i >= nfuncs then (List.rev acc_defs, acc_callable)
     else
       let name = Printf.sprintf "f%d" i in
-      let def, sig_ =
-        gen_func ~name ~funcs_below:acc_callable ~static:false st
-      in
-      build (i + 1) (def :: acc_defs) (sig_ :: acc_callable)
+      (* Some functions are module-local: later lib functions may call
+         them (or take their address), but main cannot name them — so a
+         static reachable only through a handle is prunable-looking
+         while actually live. *)
+      let static = opts.so_indirect && Gen.int_range 0 3 st = 0 in
+      let fn = gen_fn opts ~name ~funcs_below:acc_callable ~static st in
+      build (i + 1) (fn :: acc_defs) ((name, List.length fn.fn_params) :: acc_callable)
   in
-  let defs, callable = build 0 [] [] in
-  let lib =
-    "public global ga[16];\npublic global gs;\npublic global gt = 3;\n"
-    ^ String.concat "\n" defs
+  let funcs, callable = build 0 [] [] in
+  let public_callable =
+    List.filter
+      (fun (name, _) ->
+        List.exists (fun f -> f.fn_name = name && not f.fn_static) funcs)
+      callable
   in
-  let env = { next_local = 0; funcs_below = callable; locals = [] } in
-  let main_body = gen_stmts env ~depth:3 ~fuel:(Gen.int_range 4 10 st) st in
-  let prints =
-    [ "print_int(gs);"; "print_int(gt);"; "print_int(ga[3]);";
-      Printf.sprintf "print_int(%s);" (gen_expr env 2 st) ]
+  let env =
+    { next_local = 0; funcs_below = public_callable; locals = []; handles = [] }
   in
-  let main =
-    Printf.sprintf "func main() { %s %s return 0; }"
-      (String.concat " " main_body)
-      (String.concat " " prints)
-  in
-  [ Minic.Compile.source ~module_name:"lib" lib;
-    Minic.Compile.source ~module_name:"app" main ]
+  let depth = if opts.so_nested then 4 else 3 in
+  let fuel = Gen.int_range 4 (if opts.so_nested then 12 else 10) st in
+  let body = gen_stmts opts env ~depth ~fuel st in
+  let final = Printf.sprintf "print_int(%s);" (gen_expr opts env 2 st) in
+  { sh_funcs = funcs; sh_main = body @ [ final ] }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking.                                                          *)
+
+let shape_compiles sh =
+  match Minic.Compile.compile_program (render_shape sh) with
+  | _ -> true
+  | exception Minic.Diag.Compile_error _ -> false
+  | exception Ucode.Linker.Link_error _ -> false
+
+let replace_nth i x l = List.mapi (fun j y -> if j = i then x else y) l
+
+(* Structural shrinking: drop whole functions, main statements, or
+   statements inside one function.  Candidates that no longer compile
+   (a dropped [var] with live uses, a dropped function with live
+   callers) are filtered out rather than repaired. *)
+let shrink_shape sh yield =
+  let yield sh' = if shape_compiles sh' then yield sh' in
+  QCheck.Shrink.list_spine sh.sh_funcs (fun fs ->
+      yield { sh with sh_funcs = fs });
+  QCheck.Shrink.list_spine sh.sh_main (fun m -> yield { sh with sh_main = m });
+  List.iteri
+    (fun i f ->
+      QCheck.Shrink.list_spine f.fn_body (fun body ->
+          yield
+            { sh with
+              sh_funcs = replace_nth i { f with fn_body = body } sh.sh_funcs }))
+    sh.sh_funcs
+
+let print_sources (sources : Minic.Compile.source list) =
+  String.concat "\n---\n"
+    (List.map
+       (fun s ->
+         Printf.sprintf "// module %s\n%s" s.Minic.Compile.src_module
+           s.Minic.Compile.src_text)
+       sources)
+
+let arbitrary_shape opts =
+  QCheck.make
+    ~print:(fun sh -> print_sources (render_shape sh))
+    ~shrink:shrink_shape (gen_shape opts)
+
+(* ------------------------------------------------------------------ *)
+(* Rendered-program generators (the pre-existing interface).           *)
+
+let gen_program_sources st : Minic.Compile.source list =
+  render_shape (gen_shape tame_opts st)
 
 let gen_program : U.program Gen.t =
  fun st ->
@@ -195,14 +360,6 @@ let gen_program : U.program Gen.t =
 
 let arbitrary_program =
   QCheck.make ~print:(fun p -> Ucode.Pp.program_to_string p) gen_program
-
-let print_sources (sources : Minic.Compile.source list) =
-  String.concat "\n---\n"
-    (List.map
-       (fun s ->
-         Printf.sprintf "// module %s\n%s" s.Minic.Compile.src_module
-           s.Minic.Compile.src_text)
-       sources)
 
 let arbitrary_sources =
   QCheck.make ~print:print_sources gen_program_sources
@@ -238,6 +395,15 @@ let same_outcome a b =
 (* ------------------------------------------------------------------ *)
 (* Random HLO configurations (always validating).                      *)
 
+(* A random staging schedule: nondecreasing cumulative budget
+   fractions, ending at 1.0 as Config requires. *)
+let gen_staging st =
+  let n = Gen.int_range 1 4 st in
+  let cuts =
+    List.init (n - 1) (fun _ -> float_of_int (Gen.int_range 1 99 st) /. 100.0)
+  in
+  List.sort compare cuts @ [ 1.0 ]
+
 let gen_hlo_config : Hlo.Config.t Gen.t =
  fun st ->
   let scope =
@@ -247,10 +413,12 @@ let gen_hlo_config : Hlo.Config.t Gen.t =
     { Hlo.Config.default with
       Hlo.Config.budget_percent = float_of_int (Gen.int_range 0 400 st);
       pass_limit = Gen.int_range 1 5 st;
+      staging = gen_staging st;
       enable_inlining = Gen.bool st;
       enable_cloning = Gen.bool st;
       enable_outlining = Gen.bool st;
       max_operations = (if Gen.bool st then Some (Gen.int_range 0 20 st) else None);
+      optimize_between_passes = Gen.bool st;
       validate = true }
   in
   Hlo.Config.with_scope base scope

@@ -220,6 +220,83 @@ let test_indirect_arity_mismatch_traps () =
   | exception Interp.Trap (Interp.Indirect_arity_mismatch _, _) -> ()
   | _ -> Alcotest.fail "indirect arity mismatch must trap"
 
+let test_division_by_zero () =
+  let div = compile "func main() { var d = 0; return 1 / d; }" in
+  (match Interp.run div with
+  | exception Interp.Trap (Interp.Division_by_zero, _) -> ()
+  | _ -> Alcotest.fail "expected division trap");
+  let rem = compile "func main() { var d = 0; return 5 % d; }" in
+  match Interp.run rem with
+  | exception Interp.Trap (Interp.Division_by_zero, _) -> ()
+  | _ -> Alcotest.fail "expected remainder trap"
+
+let test_global_index_out_of_range () =
+  let src = {|
+    global ga[4];
+    func main() { var i = 1000000; return ga[i * 1000]; }
+  |} in
+  match Interp.run (compile src) with
+  | exception Interp.Trap (Interp.Out_of_bounds _, _) -> ()
+  | _ -> Alcotest.fail "expected out-of-bounds trap"
+
+(* ------------------------------------------------------------------ *)
+(* The run_outcome API: trap-time observable state.                    *)
+
+let test_outcome_finished () =
+  let src = {|
+    global gs;
+    func main() { gs = 5; print_int(gs); return 3; }
+  |} in
+  match Interp.run_outcome (compile src) with
+  | Interp.Finished r ->
+    check_bool "exit" true (Int64.equal r.Interp.exit_code 3L);
+    check_string "output" "5\n" r.Interp.output;
+    check_bool "final globals" true
+      (List.exists
+         (fun (n, cells) -> String.ends_with ~suffix:"gs" n && cells = [| 5L |])
+         r.Interp.globals)
+  | _ -> Alcotest.fail "expected Finished"
+
+let test_outcome_partial_at_trap () =
+  (* The trap must carry everything observed up to it: prior prints and
+     prior global writes, but nothing after. *)
+  let src = {|
+    global gs;
+    func main() {
+      gs = 7;
+      print_int(1);
+      var d = 0;
+      print_int(2 / d);
+      gs = 9;
+      return 0;
+    }
+  |} in
+  match Interp.run_outcome (compile src) with
+  | Interp.Trapped { trap = Interp.Division_by_zero; partial; _ } ->
+    check_string "partial output" "1\n" partial.Interp.output;
+    check_bool "globals at trap" true
+      (List.exists
+         (fun (n, cells) -> String.ends_with ~suffix:"gs" n && cells = [| 7L |])
+         partial.Interp.globals)
+  | Interp.Trapped { trap; _ } ->
+    Alcotest.fail ("wrong trap: " ^ Interp.trap_message trap)
+  | _ -> Alcotest.fail "expected Trapped"
+
+let test_outcome_fuel_exhaustion () =
+  let src = {|
+    func main() {
+      var i = 0;
+      while (1) { print_int(i); i = i + 1; }
+      return 0;
+    }
+  |} in
+  let config = { Interp.default_config with Interp.fuel = 200 } in
+  match Interp.run_outcome ~config (compile src) with
+  | Interp.Trapped { trap = Interp.Out_of_fuel; partial; _ } ->
+    check_bool "made progress before running dry" true
+      (String.length partial.Interp.output > 0)
+  | _ -> Alcotest.fail "expected fuel exhaustion outcome"
+
 let test_steps_counted () =
   let r = Interp.run (compile "func main() { return 1 + 2; }") in
   check_bool "steps positive" true (r.Interp.steps > 0);
@@ -242,7 +319,16 @@ let () =
           Alcotest.test_case "alloc edge cases" `Quick
             test_alloc_zero_and_negative;
           Alcotest.test_case "indirect arity trap" `Quick
-            test_indirect_arity_mismatch_traps ] );
+            test_indirect_arity_mismatch_traps;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "global index out of range" `Quick
+            test_global_index_out_of_range ] );
+      ( "outcomes",
+        [ Alcotest.test_case "finished" `Quick test_outcome_finished;
+          Alcotest.test_case "partial state at trap" `Quick
+            test_outcome_partial_at_trap;
+          Alcotest.test_case "fuel exhaustion" `Quick
+            test_outcome_fuel_exhaustion ] );
       ( "profile",
         [ Alcotest.test_case "exact counts" `Quick test_profile_counts_exact;
           Alcotest.test_case "indirect targets" `Quick

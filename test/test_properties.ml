@@ -75,24 +75,28 @@ let prop_each_pass_preserves =
               (Printf.sprintf "%s changed output:\n%s\nvs\n%s" name reference out))
         passes)
 
+(* Training, profile handling, the driver run and the observable
+   comparison all live in the semantic oracle now; the property just
+   adds the operation-cap assertion on top. *)
 let prop_hlo_preserves =
   QCheck.Test.make ~count ~name:"HLO preserves semantics at random configs"
     (QCheck.pair arbitrary_program (QCheck.make gen_hlo_config))
     (fun (p, config) ->
-      let profile =
-        if config.Hlo.Config.use_profile then
-          match Interp.run ~config:{ interp_config with Interp.profile = true } p with
-          | r -> r.Interp.profile
-          | exception Interp.Trap _ -> Ucode.Profile.empty
-        else Ucode.Profile.empty
-      in
-      let res = Hlo.Driver.run ~config ~profile p in
+      let check = { Oracle.default_check with Oracle.ck_config = config } in
+      let res = Oracle.check_transform ~interp_config check p in
       (match config.Hlo.Config.max_operations with
       | Some cap ->
-        if Hlo.Report.total_operations res.Hlo.Driver.report > cap then
-          QCheck.Test.fail_report "operation cap exceeded"
+        if Hlo.Report.total_operations res.Oracle.tr_driver.Hlo.Driver.report > cap
+        then QCheck.Test.fail_report "operation cap exceeded"
       | None -> ());
-      same_outcome (interp_outcome p) (interp_outcome res.Hlo.Driver.program))
+      match res.Oracle.tr_verdict with
+      | None -> true
+      | Some (cls, detail) ->
+        QCheck.Test.fail_report
+          (Printf.sprintf "oracle mismatch [%s]: %s\n  pre:  %s\n  post: %s"
+             cls detail
+             (Oracle.outcome_to_string res.Oracle.tr_pre)
+             (Oracle.outcome_to_string res.Oracle.tr_post)))
 
 let prop_hlo_then_sim_agrees =
   QCheck.Test.make ~count:30 ~name:"HLO output runs identically on the machine"
