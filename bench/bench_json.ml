@@ -1,21 +1,25 @@
 (* Machine-readable perf data points for the parallel driver and the
    isom build: workload x jobs x wall-time, summary-cache hit rates, a
-   warm-vs-cold cache comparison, and cold/warm/one-dirty incremental
-   build timings, written to BENCH_pr4.json.
+   warm-vs-cold cache comparison, cold/warm/one-dirty incremental
+   build timings, and scale-sized synthetic programs (Prog_gen.Scale),
+   written to BENCH_pr6.json.
 
-     dune exec bench/bench_json.exe            # writes ./BENCH_pr4.json
+     dune exec bench/bench_json.exe            # writes ./BENCH_pr6.json
      dune exec bench/bench_json.exe -- out.json
 
    Wall-clock numbers depend on the machine — most importantly on how
    many cores it actually has, so the core count is recorded in the
-   output.  On a single-core machine the jobs > 1 rows measure pool
-   overhead, not speedup; the determinism suite (test/test_parallel.ml)
-   is what holds the *results* identical everywhere. *)
+   output and every run notes whether it oversubscribed the machine
+   (jobs > cores: such rows measure pool overhead, not speedup).  The
+   determinism suite (test/test_parallel.ml) is what holds the
+   *results* identical everywhere. *)
 
 module J = Telemetry.Json
 
 let jobs_levels = [ 1; 2; 4; 8 ]
-let repetitions = 3  (* per cell; best-of to shed scheduler noise *)
+let repetitions = 3  (* per cell; median to shed scheduler noise *)
+
+let cores = Domain.recommended_domain_count ()
 
 let input = Workloads.Suite.Train
 
@@ -26,15 +30,15 @@ let compile_once ~profile sources =
   let program, _ = Minic.Compile.compile_program sources in
   ignore (Hlo.Driver.run ~profile program : Hlo.Driver.result)
 
-let time_best f =
-  let best = ref infinity in
-  for _ = 1 to repetitions do
-    let t0 = Unix.gettimeofday () in
-    f ();
-    let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt
-  done;
-  !best
+let time_median f =
+  let samples =
+    Array.init repetitions (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare samples;
+  samples.(repetitions / 2)
 
 let hit_rate (s : Hlo.Summary_cache.stats) =
   let total = s.Hlo.Summary_cache.hits + s.Hlo.Summary_cache.misses in
@@ -48,12 +52,13 @@ let hit_rate (s : Hlo.Summary_cache.stats) =
 let measure_cell ~profile ~sources jobs =
   Parallel.Pool.set_jobs jobs;
   Hlo.Summary_cache.clear ();
-  let wall = time_best (fun () -> compile_once ~profile sources) in
+  let wall = time_median (fun () -> compile_once ~profile sources) in
   let stats = Hlo.Summary_cache.stats () in
   Parallel.Pool.set_jobs 1;
   ( wall,
     J.Assoc
       [ ("jobs", J.Int jobs); ("wall_s", J.Float wall);
+        ("oversubscribed", J.Bool (jobs > cores));
         ("cache_hits", J.Int stats.Hlo.Summary_cache.hits);
         ("cache_misses", J.Int stats.Hlo.Summary_cache.misses);
         ("cache_hit_rate", J.Float (hit_rate stats)) ] )
@@ -158,10 +163,55 @@ let measure_incremental (b : Workloads.Suite.benchmark) =
       ("one_dirty_recompiled",
        J.Int (List.length dirty_st.Isom.Build.s_recompiled)) ]
 
+(* Scale-sized synthetic programs (Prog_gen.Scale).  No interpreter
+   training — the section measures compile scaling, so HLO runs
+   profile-free — and the summary cache is cleared per cell like the
+   paper workloads above. *)
+
+let scale_routines = 1000
+let scale_seed = 1
+
+let measure_scale shape =
+  let name = Prog_gen.Scale.shape_name shape in
+  let sources =
+    Prog_gen.Scale.sources shape ~routines:scale_routines ~seed:scale_seed
+  in
+  let cells =
+    List.map
+      (fun jobs ->
+        Parallel.Pool.set_jobs jobs;
+        Hlo.Summary_cache.clear ();
+        let wall =
+          time_median (fun () ->
+              let program, _ = Minic.Compile.compile_program sources in
+              ignore
+                (Hlo.Driver.run ~profile:Ucode.Profile.empty program
+                  : Hlo.Driver.result))
+        in
+        Parallel.Pool.set_jobs 1;
+        (jobs, wall))
+      jobs_levels
+  in
+  let wall_at j = List.assoc j cells in
+  let speedup_at_4 = wall_at 1 /. wall_at 4 in
+  Fmt.pr "scale/%-5s jobs1=%.3fs jobs4=%.3fs speedup@4=%.2fx@." name
+    (wall_at 1) (wall_at 4) speedup_at_4;
+  J.Assoc
+    [ ("name", J.String name);
+      ("routines", J.Int (Prog_gen.Scale.routine_count ~routines:scale_routines));
+      ( "runs",
+        J.List
+          (List.map
+             (fun (j, w) ->
+               J.Assoc
+                 [ ("jobs", J.Int j); ("wall_s", J.Float w);
+                   ("oversubscribed", J.Bool (j > cores)) ])
+             cells) );
+      ("speedup_at_4", J.Float speedup_at_4) ]
+
 let () =
-  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pr4.json" in
-  let cores = Domain.recommended_domain_count () in
-  Fmt.pr "BENCH_pr4: %d workloads x jobs %s on %d core(s)@."
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pr6.json" in
+  Fmt.pr "BENCH_pr6: %d workloads x jobs %s on %d core(s)@."
     (List.length Workloads.Suite.all)
     (String.concat "/" (List.map string_of_int jobs_levels))
     cores;
@@ -169,14 +219,17 @@ let () =
   let total1 = List.fold_left (fun a (w1, _, _) -> a +. w1) 0.0 rows in
   let total4 = List.fold_left (fun a (_, w4, _) -> a +. w4) 0.0 rows in
   let warm = measure_warm_cache () in
+  Fmt.pr "-- scale-sized synthetic programs --@.";
+  let scale = List.map measure_scale Prog_gen.Scale.all_shapes in
   Fmt.pr "-- incremental isom builds --@.";
   let incremental = List.map measure_incremental Workloads.Suite.all in
   let doc =
     J.Assoc
-      [ ("bench", J.String "pr4-isom-separate-compilation");
+      [ ("bench", J.String "pr6-work-stealing-and-scale");
         ("input", J.String "train");
         ("cores", J.Int cores);
         ("repetitions", J.Int repetitions);
+        ("statistic", J.String "median");
         ("jobs_levels", J.List (List.map (fun j -> J.Int j) jobs_levels));
         ("workloads", J.List (List.map (fun (_, _, j) -> j) rows));
         ( "total",
@@ -184,6 +237,7 @@ let () =
             [ ("wall_s_jobs1", J.Float total1);
               ("wall_s_jobs4", J.Float total4);
               ("speedup_at_4", J.Float (total1 /. total4)) ] );
+        ("scale", J.List scale);
         ("warm_cache", warm);
         ("incremental", J.List incremental) ]
   in

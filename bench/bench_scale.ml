@@ -1,0 +1,142 @@
+(* Scale-sized synthetic benchmarks for the parallel driver.
+
+   The 14 paper workloads are small — tens of routines each — so at
+   their size the domain pool mostly measures its own overhead.  These
+   programs come from Prog_gen.Scale: 1000+ routines across dozens of
+   modules, in three call-graph shapes (wide/flat, deep chains,
+   SCC-heavy), deterministic in the seed, big enough that sharding the
+   optimizer has real work to balance.
+
+     dune exec bench/bench_scale.exe             # sweep: shapes x jobs
+     dune exec bench/bench_scale.exe -- --smoke  # CI gate (make bench-scale)
+
+   --smoke compiles one 1000-routine wide program at jobs 1 and jobs 4,
+   asserts that the final IR, the report and the decision journal are
+   bit-identical, and — only when the machine has at least 4 cores —
+   that jobs 4 is at least as fast as jobs 1 (on fewer cores the jobs 4
+   row measures oversubscription overhead, not speedup, so the gate
+   would be noise).  Exit status 1 on any violation. *)
+
+let routines = 1000
+let seed = 1
+let repetitions = 3
+let jobs_levels = [ 1; 2; 4; 8 ]
+
+let sources_of shape = Prog_gen.Scale.sources shape ~routines ~seed
+
+let compile_once sources =
+  let program, _ = Minic.Compile.compile_program sources in
+  Hlo.Driver.run ~profile:Ucode.Profile.empty program
+
+(* Everything the determinism contract covers, as strings: the final
+   IR, the report, and the decision journal captured by a private
+   collector. *)
+let observe ~jobs sources =
+  Parallel.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs 1) @@ fun () ->
+  let collector = Telemetry.Collector.create () in
+  Telemetry.Collector.install collector;
+  Fun.protect ~finally:Telemetry.Collector.uninstall @@ fun () ->
+  let res = compile_once sources in
+  let journal =
+    String.concat "\n"
+      (List.map
+         (fun (d : Telemetry.Event.decision) ->
+           Printf.sprintf "%s %s %s %s %s %d %.17g %d"
+             (Telemetry.Event.kind_name d.Telemetry.Event.d_kind)
+             (Telemetry.Event.verdict_name d.Telemetry.Event.d_verdict)
+             (match d.Telemetry.Event.d_verdict with
+             | Telemetry.Event.Accepted -> ""
+             | Telemetry.Event.Rejected r -> r)
+             d.Telemetry.Event.d_subject d.Telemetry.Event.d_context
+             d.Telemetry.Event.d_site d.Telemetry.Event.d_score
+             d.Telemetry.Event.d_pass)
+         (Telemetry.Collector.decisions collector))
+  in
+  ( Ucode.Pp.program_to_string res.Hlo.Driver.program,
+    Fmt.str "%a" Hlo.Report.pp res.Hlo.Driver.report,
+    journal )
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let time_median ~jobs sources =
+  Parallel.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs 1) @@ fun () ->
+  median
+    (List.init repetitions (fun _ ->
+         let t0 = Unix.gettimeofday () in
+         ignore (compile_once sources : Hlo.Driver.result);
+         Unix.gettimeofday () -. t0))
+
+(* ------------------------------------------------------------------ *)
+(* CI smoke gate.                                                      *)
+
+let smoke () =
+  let cores = Domain.recommended_domain_count () in
+  let sources = sources_of Prog_gen.Scale.Wide in
+  Fmt.pr "bench-scale smoke: wide shape, %d routines, %d core(s)@."
+    (Prog_gen.Scale.routine_count ~routines)
+    cores;
+  let ir1, rep1, j1 = observe ~jobs:1 sources in
+  let ir4, rep4, j4 = observe ~jobs:4 sources in
+  let fail = ref false in
+  let check what a b =
+    if String.equal a b then
+      Fmt.pr "  %-7s identical at jobs 1 and jobs 4@." what
+    else begin
+      fail := true;
+      Fmt.epr "  %-7s DIFFERS between jobs 1 and jobs 4@." what
+    end
+  in
+  check "IR" ir1 ir4;
+  check "report" rep1 rep4;
+  check "journal" j1 j4;
+  let w1 = time_median ~jobs:1 sources in
+  let w4 = time_median ~jobs:4 sources in
+  Fmt.pr "  jobs1=%.3fs jobs4=%.3fs speedup@4=%.2fx@." w1 w4 (w1 /. w4);
+  if cores >= 4 then begin
+    if w1 /. w4 < 1.0 then begin
+      fail := true;
+      Fmt.epr "  FAIL: speedup_at_4 = %.2f < 1.0 on a %d-core machine@."
+        (w1 /. w4) cores
+    end
+  end
+  else
+    Fmt.pr
+      "  speedup gate skipped: %d core(s) < 4, jobs 4 measures \
+       oversubscription@."
+      cores;
+  if !fail then exit 1;
+  Fmt.pr "bench-scale smoke: OK@."
+
+(* ------------------------------------------------------------------ *)
+(* Full sweep.                                                         *)
+
+let sweep () =
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr
+    "bench-scale: %d-routine programs, jobs %s, median of %d, %d core(s)@."
+    (Prog_gen.Scale.routine_count ~routines)
+    (String.concat "/" (List.map string_of_int jobs_levels))
+    repetitions cores;
+  List.iter
+    (fun shape ->
+      let sources = sources_of shape in
+      let walls =
+        List.map (fun jobs -> (jobs, time_median ~jobs sources)) jobs_levels
+      in
+      let wall_at j = List.assoc j walls in
+      Fmt.pr "%-5s %s speedup@4=%.2fx@."
+        (Prog_gen.Scale.shape_name shape)
+        (String.concat " "
+           (List.map
+              (fun (j, w) -> Printf.sprintf "jobs%d=%.3fs" j w)
+              walls))
+        (wall_at 1 /. wall_at 4))
+    Prog_gen.Scale.all_shapes
+
+let () =
+  if Array.exists (String.equal "--smoke") Sys.argv then smoke () else sweep ()

@@ -88,6 +88,14 @@ grep -q 'recompiled telemetry_main: unreadable' "$tmp/inc-corrupt.txt"
 diff -u <(grep -v '^\[isom\]' "$tmp/inc-corrupt.txt") "$tmp/whole.txt"
 echo "truncated isom recompiled transparently, output identical"
 
+echo "== scale bench smoke (make bench-scale) =="
+# One 1000-routine synthetic workload compiled at jobs 1 and jobs 4:
+# IR, report and decision journal must be bit-identical, and on a
+# machine with >= 4 cores jobs 4 must be at least as fast as jobs 1
+# (on fewer cores the gate is skipped — oversubscription measures pool
+# overhead, not speedup).
+make bench-scale
+
 echo "== differential fuzz smoke (hlo_fuzz, fixed seed) =="
 # Corpus + random programs through the semantic oracle for ~30s.
 # A nonzero exit means a real finding; the bucketed, reduced repros

@@ -41,69 +41,18 @@ let locked f =
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 (* ------------------------------------------------------------------ *)
-(* The analyses being memoized.                                        *)
-
-(** Labels of blocks that are part of some cycle of [r]'s CFG
-    (including self-loops).  Tarjan over block labels. *)
-let compute_cycles (r : U.routine) : U.Int_set.t =
-  let succs = Opt.Cfg.successors r in
-  let index = Hashtbl.create 16 in
-  let lowlink = Hashtbl.create 16 in
-  let on_stack = Hashtbl.create 16 in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let result = ref U.Int_set.empty in
-  let next l = Option.value ~default:[] (U.Int_map.find_opt l succs) in
-  let rec strongconnect v =
-    Hashtbl.replace index v !counter;
-    Hashtbl.replace lowlink v !counter;
-    incr counter;
-    stack := v :: !stack;
-    Hashtbl.replace on_stack v ();
-    List.iter
-      (fun w ->
-        if not (Hashtbl.mem index w) then begin
-          strongconnect w;
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
-        end
-        else if Hashtbl.mem on_stack w then
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
-      (next v);
-    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
-      let rec pop acc =
-        match !stack with
-        | [] -> acc
-        | w :: rest ->
-          stack := rest;
-          Hashtbl.remove on_stack w;
-          if w = v then w :: acc else pop (w :: acc)
-      in
-      let comp = pop [] in
-      let cyclic =
-        match comp with
-        | [ single ] -> List.mem single (next single)  (* self-loop *)
-        | _ -> true
-      in
-      if cyclic then
-        result := List.fold_left (fun s l -> U.Int_set.add l s) !result comp
-    end
-  in
-  List.iter
-    (fun (b : U.block) ->
-      if not (Hashtbl.mem index b.U.b_id) then strongconnect b.U.b_id)
-    r.U.r_blocks;
-  !result
-
-let compute_entry (r : U.routine) : entry =
-  { e_size = Ucode.Size.routine_size r; e_cycles = compute_cycles r }
-
-(* ------------------------------------------------------------------ *)
 (* The memo store.                                                     *)
 
+(* One flat build serves everything: the digest (the key), the
+   instruction count, and the cycle analysis — a single walk over the
+   block list instead of one per question. *)
+
+let entry_of_flat fl : entry =
+  { e_size = Ucode.Flat.n_instrs fl; e_cycles = Ucode.Flat.cycles fl }
+
 let find (r : U.routine) : entry =
-  let key = Ucode.Hash.routine_body_hash r in
+  let fl = Ucode.Flat.of_routine r in
+  let key = Ucode.Flat.body_hash fl in
   match locked (fun () ->
       match Hashtbl.find_opt table key with
       | Some e -> incr hits; Some e
@@ -114,7 +63,7 @@ let find (r : U.routine) : entry =
     (* Compute outside the lock: Tarjan on a big routine must not
        serialize other domains' lookups.  A racing domain may compute
        the same entry; both results are identical, either insert wins. *)
-    let e = compute_entry r in
+    let e = entry_of_flat fl in
     locked (fun () -> Hashtbl.replace table key e);
     e
 

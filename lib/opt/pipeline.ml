@@ -14,15 +14,18 @@ module U = Ucode.Types
 
 type stats = {
   mutable rounds : int;
-  mutable passes_changed : (string * int) list;
+  passes_changed : (string, int) Hashtbl.t;
 }
 
+let make_stats () = { rounds = 0; passes_changed = Hashtbl.create 16 }
+
+let changed_counts stats =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats.passes_changed []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let note stats name =
-  stats.passes_changed <-
-    (match List.assoc_opt name stats.passes_changed with
-    | Some n ->
-      (name, n + 1) :: List.remove_assoc name stats.passes_changed
-    | None -> (name, 1) :: stats.passes_changed)
+  Hashtbl.replace stats.passes_changed name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt stats.passes_changed name))
 
 (** Optimize one routine.  [removable] enables deletion of unused calls
     proven harmless by {!Ipa}; [arity_of] enables devirtualization of
@@ -30,10 +33,21 @@ let note stats name =
 let optimize_routine ?(removable = fun _ -> false)
     ?(arity_of = fun (_ : string) -> (None : int option)) ?(max_rounds = 4)
     ?stats (r : U.routine) : U.routine =
-  let stats = Option.value ~default:{ rounds = 0; passes_changed = [] } stats in
+  let stats = match stats with Some s -> s | None -> make_stats () in
+  (* Convergence: a quiet round (no pass flagged a change) stops with no
+     structural comparison at all.  A noisy round still compares input
+     to output, because two passes can oscillate — one rewrites, a later
+     one undoes it — leaving the round a structural no-op while flags
+     fired; without the compare such a routine burns every remaining
+     round.  Net: at most one compare per *changed* round, none on the
+     final quiet round. *)
+  let any = ref false in
   let run_pass name f r =
     let r', changed = f r in
-    if changed then note stats name;
+    if changed then begin
+      any := true;
+      note stats name
+    end;
     r'
   in
   let round r =
@@ -51,8 +65,9 @@ let optimize_routine ?(removable = fun _ -> false)
     if n = 0 then r
     else begin
       stats.rounds <- stats.rounds + 1;
+      any := false;
       let r' = round r in
-      if r' = r then r else loop r' (n - 1)
+      if !any && r' <> r then loop r' (n - 1) else r'
     end
   in
   loop r max_rounds

@@ -8,8 +8,14 @@
 
 type stats = {
   mutable rounds : int;
-  mutable passes_changed : (string * int) list;
+  passes_changed : (string, int) Hashtbl.t;
+      (** pass name -> number of rounds in which it changed the routine *)
 }
+
+val make_stats : unit -> stats
+
+(** [changed_counts s] as a sorted association list (for reports). *)
+val changed_counts : stats -> (string * int) list
 
 (** Optimize one routine.  [removable name] permits deleting unused
     calls to [name] (see {!Ipa}); [arity_of] enables devirtualization

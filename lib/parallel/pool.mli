@@ -1,9 +1,13 @@
-(** A fixed-size pool of OCaml 5 domains with a *deterministic*
-    parallel map: results land by input index, the first failing item
-    (by index) is the one re-raised, and scheduling order is a
-    performance hint only.  With one job, or when called from inside a
-    pool worker, the map runs inline — nested maps cannot deadlock and
-    the sequential path is exactly [Array.map]. *)
+(** A warm pool of OCaml 5 domains with a *deterministic* parallel map
+    built on per-executor work-stealing deques: results land by input
+    index, the first failing item (by index) is the one re-raised, and
+    scheduling order is a performance hint only.  Items are grouped
+    into chunks of ~[n / (4 * jobs)] so a task amortizes its
+    scheduling cost; an executor whose deque runs dry steals chunks
+    from the others (claims are a single [Atomic.fetch_and_add] — no
+    lock on the fast path).  With one job, or when called from inside
+    a pool worker, the map runs inline — nested maps cannot deadlock
+    and the sequential path is exactly [Array.map]. *)
 
 type t
 
@@ -13,12 +17,27 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+(** Lifetime count of domains this pool has spawned.  Consecutive maps
+    at an unchanged degree must not move it — the resize-reuse tests
+    pin that down. *)
+val spawned : t -> int
+
+(** Resize the pool in place: spawns or joins only the delta workers,
+    keeps the rest warm.  No-op at the current degree. *)
+val resize : t -> int -> unit
+
 (** Order-preserving parallel map.  [priority.(i)] (lower runs
     earlier) biases scheduling — e.g. bottom-up over call-graph SCCs —
-    without affecting results. *)
-val map_array_in : t -> ?priority:int array -> ('a -> 'b) -> 'a array -> 'b array
+    without affecting results.  [chunk_size] overrides the automatic
+    ~[n / (4 * jobs)] chunking (tests sweep it; results are identical
+    for any value). *)
+val map_array_in :
+  t -> ?priority:int array -> ?chunk_size:int -> ('a -> 'b) -> 'a array ->
+  'b array
 
-val map_list_in : t -> ?priority:int array -> ('a -> 'b) -> 'a list -> 'b list
+val map_list_in :
+  t -> ?priority:int array -> ?chunk_size:int -> ('a -> 'b) -> 'a list ->
+  'b list
 
 (** Stop the workers and join them.  Idempotent. *)
 val shutdown : t -> unit
@@ -33,8 +52,8 @@ val in_worker : unit -> bool
     defaults to the [HLO_JOBS] environment variable (else 1) and is
     overridden by [set_jobs] (e.g. from [hloc --jobs]). *)
 
-(** Set the ambient parallelism degree.  Tears down a live pool of a
-    different size; the next map builds a fresh one lazily. *)
+(** Set the ambient parallelism degree.  Resizes a live pool in place
+    (the warm workers survive); a pool not yet created stays lazy. *)
 val set_jobs : int -> unit
 
 val get_jobs : unit -> int
@@ -43,6 +62,8 @@ val get_jobs : unit -> int
 val the : unit -> t
 
 (** [map_array f xs] on the ambient pool (inline when jobs = 1). *)
-val map_array : ?priority:int array -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?priority:int array -> ?chunk_size:int -> ('a -> 'b) -> 'a array -> 'b array
 
-val map_list : ?priority:int array -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?priority:int array -> ?chunk_size:int -> ('a -> 'b) -> 'a list -> 'b list

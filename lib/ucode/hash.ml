@@ -8,97 +8,20 @@
     and a routine keeps its entry across `hloc` runs even though site
     ids are assigned in program order.
 
-    The serialization is a flat byte stream with one tag byte per
-    constructor and explicit lengths for every list, so distinct bodies
-    cannot collide by concatenation ambiguity. *)
+    The digest is computed over the packed flat view ({!Flat}): one
+    walk flattens the body into int arrays, and the hash is an MD5 of
+    their fixed-width binary serialization — no per-constructor
+    buffer-and-string traffic.  Call-site ids are deliberately
+    excluded: they are program-unique serial numbers, so including
+    them would make every copy of a body — every clone, every relink —
+    a cache miss. *)
 
 open Types
-
-let add_int buf n =
-  Buffer.add_char buf 'i';
-  Buffer.add_string buf (string_of_int n);
-  Buffer.add_char buf ';'
-
-let add_int64 buf n =
-  Buffer.add_char buf 'I';
-  Buffer.add_string buf (Int64.to_string n);
-  Buffer.add_char buf ';'
-
-let add_string buf s =
-  add_int buf (String.length s);
-  Buffer.add_string buf s
-
-let add_list buf add xs =
-  add_int buf (List.length xs);
-  List.iter (add buf) xs
-
-let binop_tag = function
-  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3 | Rem -> 4
-  | And -> 5 | Or -> 6 | Xor -> 7 | Shl -> 8 | Shr -> 9
-  | Eq -> 10 | Ne -> 11 | Lt -> 12 | Le -> 13 | Gt -> 14 | Ge -> 15
-
-let unop_tag = function Neg -> 0 | Not -> 1
-
-let add_instr buf = function
-  | Const (d, k) -> Buffer.add_char buf 'C'; add_int buf d; add_int64 buf k
-  | Faddr (d, n) -> Buffer.add_char buf 'F'; add_int buf d; add_string buf n
-  | Gaddr (d, n) -> Buffer.add_char buf 'G'; add_int buf d; add_string buf n
-  | Unop (d, op, a) ->
-    Buffer.add_char buf 'U'; add_int buf d; add_int buf (unop_tag op);
-    add_int buf a
-  | Binop (d, op, a, b) ->
-    Buffer.add_char buf 'B'; add_int buf d; add_int buf (binop_tag op);
-    add_int buf a; add_int buf b
-  | Move (d, a) -> Buffer.add_char buf 'M'; add_int buf d; add_int buf a
-  | Load (d, a) -> Buffer.add_char buf 'L'; add_int buf d; add_int buf a
-  | Store (a, v) -> Buffer.add_char buf 'S'; add_int buf a; add_int buf v
-  | Call { c_dst; c_callee; c_args; c_site = _ } ->
-    (* c_site deliberately omitted: site ids are program-unique serial
-       numbers, so including them would make every copy of a body —
-       every clone, every relink — a cache miss. *)
-    Buffer.add_char buf 'K';
-    (match c_dst with
-    | None -> Buffer.add_char buf '0'
-    | Some d -> Buffer.add_char buf '1'; add_int buf d);
-    (match c_callee with
-    | Direct n -> Buffer.add_char buf 'd'; add_string buf n
-    | Indirect r -> Buffer.add_char buf 'x'; add_int buf r);
-    add_list buf add_int c_args
-
-let add_term buf = function
-  | Jump l -> Buffer.add_char buf 'j'; add_int buf l
-  | Branch (r, l1, l2) ->
-    Buffer.add_char buf 'b'; add_int buf r; add_int buf l1; add_int buf l2
-  | Return None -> Buffer.add_char buf 'r'
-  | Return (Some r) -> Buffer.add_char buf 'R'; add_int buf r
-
-let add_block buf (b : block) =
-  add_int buf b.b_id;
-  add_list buf add_instr b.b_instrs;
-  add_term buf b.b_term
-
-let add_attrs buf (a : attrs) =
-  Buffer.add_char buf (if a.a_varargs then 'v' else '-');
-  Buffer.add_char buf (if a.a_alloca then 'a' else '-');
-  Buffer.add_char buf (match a.a_fp_model with Strict -> 's' | Relaxed -> 'r');
-  Buffer.add_char buf (if a.a_no_inline then 'n' else '-');
-  Buffer.add_char buf (if a.a_no_clone then 'c' else '-')
-
-(** Serialize everything about [r] except its identity: name, module,
-    origin, linkage and call-site ids are excluded; params, attributes,
-    blocks, instructions and terminators are included. *)
-let routine_body_bytes (r : routine) : string =
-  let buf = Buffer.create 256 in
-  add_list buf add_int r.r_params;
-  add_attrs buf r.r_attrs;
-  add_list buf add_block r.r_blocks;
-  Buffer.contents buf
 
 type t = string
 (** Hex digest. *)
 
-let routine_body_hash (r : routine) : t =
-  Digest.to_hex (Digest.string (routine_body_bytes r))
+let routine_body_hash (r : routine) : t = Flat.routine_hash r
 
 (** Digest of arbitrary bytes in the same hex format as routine
     hashes; used for source-content and export-environment hashes in

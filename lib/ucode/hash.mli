@@ -4,16 +4,13 @@
     blocks, instructions, terminators — and excludes its identity:
     name, module, origin, linkage, and call-site ids.  Clones therefore
     hash like their originals, and hashes are stable across `hloc`
-    runs even though site ids are assigned in program order. *)
+    runs even though site ids are assigned in program order.  Computed
+    over the packed {!Flat} view in one body walk. *)
 
 type t = string
 (** An MD5 hex digest (32 lowercase hex characters). *)
 
 val routine_body_hash : Types.routine -> t
-
-(** The canonical serialization the hash is computed over (exposed for
-    tests; injective by construction — tags plus explicit lengths). *)
-val routine_body_bytes : Types.routine -> string
 
 (** Digest of arbitrary bytes in the same hex format — the
     source-content and export-environment hashes of the isom layer. *)

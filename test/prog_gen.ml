@@ -422,3 +422,210 @@ let gen_hlo_config : Hlo.Config.t Gen.t =
       validate = true }
   in
   Hlo.Config.with_scope base scope
+
+(* ------------------------------------------------------------------ *)
+(* Scale-sized deterministic programs (bench/bench_scale.ml).          *)
+
+(* The qcheck generators above make *small* adversarial programs for
+   shrinking; the scale generator makes *big* boring ones — thousands
+   of routines across dozens of modules — so the parallel pool has
+   enough independent shards to amortize its overhead.  Everything is
+   a pure function of (shape, routines, seed): the PRNG is the same
+   LCG as lib/workloads/synthetic.ml, so the generated text — and
+   therefore the compiled IR — is bit-identical across runs and jobs
+   levels. *)
+
+module Scale = struct
+  type shape =
+    | Wide  (** flat call graph: many leaves behind one hub per module *)
+    | Deep  (** one program-long call chain threaded through modules *)
+    | Scc   (** mutually recursive triples, bounded by a counter param *)
+
+  let shape_name = function Wide -> "wide" | Deep -> "deep" | Scc -> "scc"
+  let all_shapes = [ Wide; Deep; Scc ]
+
+  let funcs_per_module = 25
+
+  type rng = { mutable state : int64 }
+
+  let make_rng seed =
+    { state = Int64.logxor 0x9E3779B97F4A7C15L (Int64.of_int (seed + 1)) }
+
+  let next rng bound =
+    rng.state <-
+      Int64.add (Int64.mul rng.state 6364136223846793005L)
+        1442695040888963407L;
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical rng.state 33) (Int64.of_int bound))
+
+  (* List.init with a guaranteed left-to-right evaluation order (the
+     stdlib leaves it unspecified, and [f] advances the PRNG). *)
+  let tabulate n f =
+    let rec go i = if i >= n then [] else let x = f i in x :: go (i + 1) in
+    go 0
+
+  let ops = [| "+"; "-"; "*"; "&"; "|"; "^" |]
+
+  (* A run of arithmetic statements over [params] plus fresh temps, and
+     a result expression over whatever ended up in scope.  Constant
+     operands and temp-to-temp chains give constprop/copyprop/cse real
+     work in every body. *)
+  let arith rng ~params ~n =
+    let scope = ref (List.rev params) in
+    let atom () =
+      match next rng 4 with
+      | 0 -> string_of_int (1 + next rng 99)
+      | 1 -> "gt"
+      | _ -> (
+        match !scope with
+        | [] -> string_of_int (1 + next rng 99)
+        | l -> List.nth l (next rng (List.length l)))
+    in
+    let stmts =
+      tabulate n (fun i ->
+          let t = Printf.sprintf "t%d" i in
+          let s =
+            Printf.sprintf "var %s = (%s %s %s);" t (atom ())
+              ops.(next rng (Array.length ops))
+              (atom ())
+          in
+          scope := t :: !scope;
+          s)
+    in
+    (stmts, Printf.sprintf "(%s %s %s)" (atom ())
+              ops.(next rng (Array.length ops)) (atom ()))
+
+  (* Every body stores into [gs], so no routine is deletable and the
+     program's size tracks [routines] through HLO. *)
+  let leaf rng ~name ~static =
+    let arity = 1 + next rng 2 in
+    let params = tabulate arity (fun i -> Printf.sprintf "p%d" i) in
+    let stmts, ret = arith rng ~params ~n:(3 + next rng 4) in
+    { fn_name = name; fn_static = static; fn_params = params;
+      fn_body = stmts @ [ Printf.sprintf "gs = (gs + %s);" ret ];
+      fn_ret = ret }
+
+  let chain_fn rng ~name ~callee =
+    let stmts, ret = arith rng ~params:[ "p0" ] ~n:(2 + next rng 3) in
+    let tail =
+      match callee with
+      | None -> Printf.sprintf "gs = (gs + %s);" ret
+      | Some c -> Printf.sprintf "gs = (gs + %s((p0 + %d)));" c (next rng 9)
+    in
+    { fn_name = name; fn_static = false; fn_params = [ "p0" ];
+      fn_body = stmts @ [ tail ]; fn_ret = ret }
+
+  let scc_member rng ~name ~succ =
+    let stmts, ret = arith rng ~params:[ "n" ] ~n:(1 + next rng 3) in
+    { fn_name = name; fn_static = true; fn_params = [ "n" ];
+      fn_body =
+        stmts
+        @ [ Printf.sprintf "if (n > 0) { gs = (gs + %s((n - 1))); }" succ ];
+      fn_ret = ret }
+
+  let hub ~name ~calls =
+    let body =
+      List.map
+        (fun (c, arity) ->
+          let args = List.init arity (fun i -> Printf.sprintf "(p0 + %d)" i) in
+          Printf.sprintf "gs = (gs + %s(%s));" c (String.concat ", " args))
+        calls
+    in
+    { fn_name = name; fn_static = false; fn_params = [ "p0" ];
+      fn_body = body; fn_ret = "(gs + p0)" }
+
+  let wide_module rng m =
+    let leaves =
+      tabulate (funcs_per_module - 1) (fun j ->
+          leaf rng
+            ~name:(Printf.sprintf "m%d_f%d" m j)
+            ~static:(j mod 3 = 0))
+    in
+    leaves
+    @ [ hub
+          ~name:(Printf.sprintf "m%d_hub" m)
+          ~calls:
+            (List.map (fun f -> (f.fn_name, List.length f.fn_params)) leaves) ]
+
+  (* f0 of module m continues module m-1's chain, so the whole program
+     is one call chain rooted at the last module's last function. *)
+  let deep_module rng m =
+    tabulate funcs_per_module (fun j ->
+        let callee =
+          if j > 0 then Some (Printf.sprintf "m%d_f%d" m (j - 1))
+          else if m > 0 then
+            Some (Printf.sprintf "m%d_f%d" (m - 1) (funcs_per_module - 1))
+          else None
+        in
+        chain_fn rng ~name:(Printf.sprintf "m%d_f%d" m j) ~callee)
+
+  (* Eight mutually recursive triples per module plus a hub that enters
+     each one; recursion is bounded by the decreasing counter. *)
+  let scc_module rng m =
+    let triples = (funcs_per_module - 1) / 3 in
+    let members =
+      List.concat
+        (tabulate triples (fun g ->
+             tabulate 3 (fun k ->
+                 let j = (3 * g) + k in
+                 let succ = (3 * g) + ((k + 1) mod 3) in
+                 scc_member rng
+                   ~name:(Printf.sprintf "m%d_f%d" m j)
+                   ~succ:(Printf.sprintf "m%d_f%d" m succ))))
+    in
+    members
+    @ [ hub
+          ~name:(Printf.sprintf "m%d_hub" m)
+          ~calls:
+            (tabulate triples (fun g ->
+                 (Printf.sprintf "m%d_f%d" m (3 * g), 1))) ]
+
+  (** At least [routines] routines (rounded up to whole modules, plus
+      [main]), deterministic in [seed]. *)
+  let sources shape ~routines ~seed : Minic.Compile.source list =
+    let rng =
+      make_rng
+        ((seed * 8191)
+        + (match shape with Wide -> 1 | Deep -> 2 | Scc -> 3))
+    in
+    let nmods =
+      max 1 ((routines + funcs_per_module - 1) / funcs_per_module)
+    in
+    let modules =
+      tabulate nmods (fun m ->
+          let fns =
+            match shape with
+            | Wide -> wide_module rng m
+            | Deep -> deep_module rng m
+            | Scc -> scc_module rng m
+          in
+          let header =
+            if m = 0 then "public global gs;\npublic global gt = 3;\n" else ""
+          in
+          Minic.Compile.source
+            ~module_name:(Printf.sprintf "m%d" m)
+            (header ^ String.concat "\n" (List.map render_fn fns)))
+    in
+    let main_calls =
+      match shape with
+      | Wide | Scc ->
+        tabulate nmods (fun m -> Printf.sprintf "gs = (gs + m%d_hub(3));" m)
+      | Deep ->
+        [ Printf.sprintf "gs = (gs + m%d_f%d(5));" (nmods - 1)
+            (funcs_per_module - 1) ]
+    in
+    let main_src =
+      Minic.Compile.source ~module_name:"app"
+        (Printf.sprintf
+           "func main() { %s print_int(gs); print_int(gt); return 0; }"
+           (String.concat " " main_calls))
+    in
+    modules @ [ main_src ]
+
+  (** Routines in the program [sources shape ~routines] actually
+      produces (whole modules plus [main]). *)
+  let routine_count ~routines =
+    (max 1 ((routines + funcs_per_module - 1) / funcs_per_module)
+     * funcs_per_module)
+    + 1
+end

@@ -80,6 +80,96 @@ let test_pool_ambient_degree () =
   Pool.set_jobs 0;
   Alcotest.(check int) "clamped to 1" 1 (Pool.get_jobs ())
 
+(* The warm pool: consecutive maps at an unchanged degree must not
+   spawn domains; resizing spawns or joins only the delta. *)
+let test_pool_resize_reuse () =
+  let p = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  Alcotest.(check int) "create spawns jobs - 1" 3 (Pool.spawned p);
+  let xs = Array.init 100 Fun.id in
+  ignore (Pool.map_array_in p (fun x -> x + 1) xs : int array);
+  let s1 = Pool.spawned p in
+  ignore (Pool.map_array_in p (fun x -> x * 2) xs : int array);
+  ignore (Pool.map_array_in p (fun x -> x - 3) xs : int array);
+  Alcotest.(check int) "no spawn between maps at the same degree" s1
+    (Pool.spawned p);
+  Pool.resize p 2;
+  Alcotest.(check int) "shrinking spawns nothing" s1 (Pool.spawned p);
+  Alcotest.(check int) "degree shrunk" 2 (Pool.jobs p);
+  ignore (Pool.map_array_in p (fun x -> x + 7) xs : int array);
+  Alcotest.(check int) "still warm after shrink" s1 (Pool.spawned p);
+  Pool.resize p 4;
+  Alcotest.(check int) "growing spawns only the delta" (s1 + 2)
+    (Pool.spawned p);
+  Alcotest.(check (array int))
+    "map correct after resizes"
+    (Array.map succ xs)
+    (Pool.map_array_in p succ xs)
+
+(* Many items failing concurrently on every executor: the error raised
+   must still be the lowest-index one, run after run.  chunk_size 1
+   makes every failure its own stealable task, and the reversed
+   priority schedules the *highest* failing index first. *)
+let test_pool_concurrent_failures () =
+  let p = Pool.create ~jobs:8 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  for round = 1 to 20 do
+    let n = 128 in
+    let xs = Array.init n Fun.id in
+    let first = 5 + (round mod 7) in
+    let priority = Array.init n (fun i -> -i) in
+    let f x = if x >= first then raise (Boom x) else x in
+    match Pool.map_array_in p ~priority ~chunk_size:1 f xs with
+    | _ -> Alcotest.fail "expected an exception"
+    | exception Boom got ->
+      Alcotest.(check int) "lowest failing index wins" first got
+  done
+
+(* Property: the steal path never changes results.  Random per-item
+   busy-work (so deques drain unevenly and executors steal), random
+   priorities, random chunk sizes, at every jobs level. *)
+let prop_steal_determinism =
+  QCheck.Test.make ~count:25
+    ~name:"map_array_in = Array.map under random durations/priorities/chunks"
+    QCheck.(
+      triple (int_range 1 150) (int_range 0 1_000_000)
+        (option (int_range 1 40)))
+    (fun (n, seed, chunk_size) ->
+      let state = ref (Int64.of_int (seed + 1)) in
+      let next bound =
+        state :=
+          Int64.add
+            (Int64.mul !state 6364136223846793005L)
+            1442695040888963407L;
+        Int64.to_int
+          (Int64.rem (Int64.shift_right_logical !state 33) (Int64.of_int bound))
+      in
+      let work = Array.init n (fun _ -> next 300) in
+      let priority = Array.init n (fun _ -> next 1000 - 500) in
+      let f i =
+        let acc = ref 0 in
+        for k = 1 to work.(i) do
+          acc := !acc + ((k * (i + 1)) mod 97)
+        done;
+        (i * 7919) + (!acc mod 13)
+      in
+      let xs = Array.init n Fun.id in
+      let expected = Array.map f xs in
+      List.iter
+        (fun jobs ->
+          let p = Pool.create ~jobs in
+          Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+          let got = Pool.map_array_in p ~priority ?chunk_size f xs in
+          if got <> expected then
+            QCheck.Test.fail_report
+              (Printf.sprintf
+                 "results differ at jobs=%d (n=%d chunk_size=%s)" jobs n
+                 (match chunk_size with
+                 | None -> "auto"
+                 | Some c -> string_of_int c)))
+        jobs_levels;
+      true)
+
 (* ------------------------------------------------------------------ *)
 (* One full compile, instrumented.                                     *)
 
@@ -351,7 +441,12 @@ let () =
             test_pool_first_error_by_index;
           Alcotest.test_case "nested maps run inline" `Quick
             test_pool_nested_maps;
-          Alcotest.test_case "ambient degree" `Quick test_pool_ambient_degree ] );
+          Alcotest.test_case "ambient degree" `Quick test_pool_ambient_degree;
+          Alcotest.test_case "resize reuses warm workers" `Quick
+            test_pool_resize_reuse;
+          Alcotest.test_case "concurrent failures: first by index" `Quick
+            test_pool_concurrent_failures;
+          to_alcotest prop_steal_determinism ] );
       ( "determinism",
         [ to_alcotest prop_differential_determinism;
           to_alcotest prop_warm_cache_equals_cold ] );
