@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-json bench-scale fuzz-smoke ci clean
+.PHONY: all build check test bench bench-json bench-scale bench-serve fuzz-smoke ci clean
 
 all: build
 
@@ -24,6 +24,13 @@ bench-json:
 # the machine has at least 4 cores.
 bench-scale:
 	dune exec bench/bench_scale.exe -- --smoke
+
+# Daemon load generator: concurrent clients over a Unix socket against
+# an in-process hlod, latency percentiles + throughput + cache/admission
+# behaviour (BENCH_pr7.json).  Exits nonzero on any failed request or
+# on rejections outside the saturation scenario.
+bench-serve:
+	dune exec bench/bench_serve.exe
 
 # Fixed-seed differential fuzz: corpus + random programs through the
 # semantic oracle for ~30s.  Nonzero exit on any mismatch or crash;

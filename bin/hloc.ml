@@ -52,10 +52,74 @@ let classify_inputs files =
                (read_file path)) ))
     files
 
+type daemon_mode = Daemon_off | Daemon_auto | Daemon_require
+
+(* Replay daemon output pieces exactly as the in-process path prints
+   them: "diag" to stderr, everything else to stdout in order. *)
+let print_daemon_outputs outputs =
+  List.iter
+    (fun (channel, text) ->
+      if channel = "diag" then prerr_string text else print_string text)
+    outputs;
+  flush stdout;
+  flush stderr
+
+(* Route an eligible compile through a running hlod.  [Ok result] is a
+   final answer (success or a faithfully replayed failure); [Error msg]
+   means "no usable daemon" — `--daemon auto` falls back to the
+   in-process pipeline, `--daemon require` reports [msg]. *)
+let try_daemon ~socket ~files ~scope ~budget ~passes ~no_inline ~no_clone
+    ~max_ops ~dump_ir ~dump_asm ~dump_profile ~dump_journal ~stats ~runner
+    ~main =
+  let module P = Serve.Protocol in
+  let socket =
+    match socket with Some s -> s | None -> Serve.Client.default_socket ()
+  in
+  if not (Serve.Client.probe socket) then
+    Error (Printf.sprintf "no hlod daemon answering at %s" socket)
+  else
+    match Serve.Client.connect socket with
+    | Error msg -> Error msg
+    | Ok client ->
+      Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
+      let modules =
+        List.map
+          (fun path -> (module_name_of_path path, read_file path))
+          files
+      in
+      let options =
+        { P.co_scope = Hlo.Config.scope_name scope; co_budget = budget;
+          co_passes = passes; co_inline = not no_inline;
+          co_clone = not no_clone; co_max_ops = max_ops; co_main = main;
+          co_runner =
+            (match runner with
+            | Run_none -> "none"
+            | Run_interp -> "interp"
+            | Run_sim -> "sim");
+          co_stats = stats; co_dump_ir = dump_ir;
+          co_dump_profile = dump_profile; co_dump_asm = dump_asm;
+          co_dump_journal = dump_journal }
+      in
+      (match Serve.Client.roundtrip client (P.Compile { modules; options }) with
+      | Error msg -> Error ("daemon request failed: " ^ msg)
+      | Ok (P.Compiled { outputs; _ }) ->
+        print_daemon_outputs outputs;
+        Ok (`Ok ())
+      | Ok (P.Failed { reason; outputs; _ }) ->
+        print_daemon_outputs outputs;
+        Ok (`Error (false, reason))
+      | Ok (P.Rejected rj) ->
+        Ok
+          (`Error
+            (false,
+             Printf.sprintf "daemon rejected the request (%s): %s"
+               rj.P.rj_kind rj.P.rj_reason))
+      | Ok _ -> Error "daemon sent an unexpected response")
+
 let compile_and_run files scope budget passes no_inline no_clone max_ops
-    dump_ir dump_asm dump_profile stats runner main trace trace_format
-    telemetry_summary jobs summary_cache compile_only link_isoms incremental
-    isom_dir output write_profiles =
+    dump_ir dump_asm dump_profile dump_journal stats runner main trace
+    trace_format telemetry_summary jobs summary_cache compile_only link_isoms
+    incremental isom_dir output write_profiles daemon daemon_socket =
   match
     (match (compile_only, link_isoms, incremental) with
     | true, true, _ | true, _, true | _, true, true ->
@@ -74,6 +138,39 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
   | Ok mode when output <> None && mode <> Compile_only ->
     ignore mode; `Error (false, "-o is only meaningful with -c")
   | Ok mode ->
+  (* Daemon routing: whole-program compiles whose only side effects are
+     the printed outputs can be served by a running hlod — the daemon
+     renders through the same code, so the bytes are identical.  Modes
+     that write files (isom objects, traces, profile fragments, the
+     summary cache) stay in-process. *)
+  let daemon_eligible =
+    mode = Whole && trace = None && (not telemetry_summary)
+    && summary_cache = None && not write_profiles
+  in
+  let daemon_verdict =
+    match daemon with
+    | Daemon_off -> `In_process
+    | (Daemon_auto | Daemon_require) when not daemon_eligible ->
+      if daemon = Daemon_require then
+        `Fail
+          "--daemon require: this invocation is not daemon-eligible \
+           (isom modes, --trace, --telemetry-summary, --summary-cache \
+           and --write-profiles run in-process)"
+      else `In_process
+    | Daemon_auto | Daemon_require -> (
+      match
+        try_daemon ~socket:daemon_socket ~files ~scope ~budget ~passes
+          ~no_inline ~no_clone ~max_ops ~dump_ir ~dump_asm ~dump_profile
+          ~dump_journal ~stats ~runner ~main
+      with
+      | Ok result -> `Served result
+      | Error msg ->
+        if daemon = Daemon_require then `Fail msg else `In_process)
+  in
+  match daemon_verdict with
+  | `Served result -> result
+  | `Fail msg -> `Error (false, msg)
+  | `In_process ->
   (* Parallelism: [--jobs N] overrides the HLO_JOBS environment
      default.  Results are bit-identical at any degree (the pool's
      maps are order-preserving); only wall-clock changes. *)
@@ -96,10 +193,11 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
       | Error msg -> Fmt.epr "hloc: cannot write summary cache: %s@." msg)
   in
   Fun.protect ~finally:save_summary_cache @@ fun () ->
-  (* Telemetry: install a collector when any observability flag is on;
-     export/summarize even if the compile or the run traps. *)
+  (* Telemetry: install a collector when any observability flag is on
+     (the decision journal needs one too); export/summarize even if the
+     compile or the run traps. *)
   let collector =
-    if trace <> None || telemetry_summary then begin
+    if trace <> None || telemetry_summary || dump_journal then begin
       let c = Telemetry.Collector.create () in
       Telemetry.Collector.install c;
       Some c
@@ -141,7 +239,7 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
         `Error (false, "-o requires exactly one source module")
       else begin
         let isoms, diags = Isom.Build.compile_inputs (List.map snd inputs) in
-        List.iter (fun d -> Fmt.epr "%a@." Minic.Diag.pp d) diags;
+        prerr_string (Serve.Render.diag diags);
         List.iter2
           (fun (path, input) isom ->
             match input with
@@ -221,9 +319,7 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
         in
         (program, diags, Some (maps, paired, seed))
     in
-    List.iter
-      (fun d -> Fmt.epr "%a@." Minic.Diag.pp d)
-      diags;
+    prerr_string (Serve.Render.diag diags);
     let config =
       Hlo.Config.with_scope
         { Hlo.Config.default with
@@ -247,9 +343,7 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
           (p, false)
         | None ->
           let r = Interp.train program in
-          if stats then
-            Fmt.pr "[train] %d IR steps, output %d bytes@." r.Interp.steps
-              (String.length r.Interp.output);
+          if stats then print_string (Serve.Render.train_line r);
           (r.Interp.profile, true)
       else (Ucode.Profile.empty, false)
     in
@@ -269,30 +363,33 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
     | None ->
       if write_profiles then
         Fmt.epr "hloc: ignoring --write-profiles (whole-program mode)@.");
-    if dump_profile then Fmt.pr "%a@." Ucode.Profile.pp profile;
+    if dump_profile then print_string (Serve.Render.profile profile);
     let result = Hlo.Driver.run ~config ~profile program in
     let optimized = result.Hlo.Driver.program in
     if stats then
-      Fmt.pr "[hlo] %a@." Hlo.Report.pp result.Hlo.Driver.report;
-    if dump_ir then Fmt.pr "%a@." Ucode.Pp.pp_program optimized;
-    if dump_asm then Fmt.pr "%a@." Machine.Layout.pp (Machine.Layout.build optimized);
+      print_string (Serve.Render.report_line result.Hlo.Driver.report);
+    if dump_ir then print_string (Serve.Render.ir optimized);
+    if dump_asm then print_string (Serve.Render.asm optimized);
+    if dump_journal then
+      print_string
+        (Serve.Render.journal
+           (match collector with
+           | Some c -> Telemetry.Collector.decisions c
+           | None -> []));
     (match runner with
     | Run_none -> ()
     | Run_interp ->
       let r = Interp.run optimized in
       print_string r.Interp.output;
-      if stats then Fmt.pr "[interp] exit=%Ld steps=%d@." r.Interp.exit_code
-          r.Interp.steps
+      if stats then print_string (Serve.Render.interp_stats_line r)
     | Run_sim ->
       let r = Machine.Sim.run_program optimized in
       print_string r.Machine.Sim.output;
-      if stats then
-        Fmt.pr "[sim] exit=%Ld %a@." r.Machine.Sim.exit_code Machine.Metrics.pp
-          r.Machine.Sim.metrics);
+      if stats then print_string (Serve.Render.sim_stats_line r));
     `Ok ()
   with
   | Minic.Diag.Compile_error diags ->
-    List.iter (fun d -> Fmt.epr "%a@." Minic.Diag.pp d) diags;
+    prerr_string (Serve.Render.diag diags);
     `Error (false, "compilation failed")
   | Sys_error msg -> `Error (false, msg)
   | Ucode.Linker.Link_error msg -> `Error (false, "link error: " ^ msg)
@@ -353,6 +450,14 @@ let dump_profile =
   Arg.(value & flag
        & info [ "dump-profile" ]
            ~doc:"Print the training profile database (block and call-site                  counts).")
+
+let dump_journal =
+  Arg.(value & flag
+       & info [ "dump-journal" ]
+           ~doc:"Print the optimizer decision journal: one line per \
+                 inline/clone decision, deterministic (no wall-clock), \
+                 identical whether the compile runs in-process or in a \
+                 daemon.")
 
 let stats =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print transformation and run statistics.")
@@ -468,15 +573,43 @@ let write_profiles =
                  each module's fragment into its isom file, so later links \
                  of the same isoms can skip training.")
 
+let daemon =
+  let parse = function
+    | "off" -> Ok Daemon_off
+    | "auto" -> Ok Daemon_auto
+    | "require" -> Ok Daemon_require
+    | s -> Error (`Msg ("unknown daemon mode " ^ s))
+  in
+  let print ppf = function
+    | Daemon_off -> Fmt.string ppf "off"
+    | Daemon_auto -> Fmt.string ppf "auto"
+    | Daemon_require -> Fmt.string ppf "require"
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Daemon_off
+       & info [ "daemon" ] ~docv:"MODE"
+           ~doc:"Route eligible compiles through a running $(b,hlod): \
+                 $(b,off) (never), $(b,auto) (use the daemon when one \
+                 answers, else compile in-process), $(b,require) (fail if \
+                 no daemon serves the request).  The output is identical \
+                 either way.")
+
+let daemon_socket =
+  Arg.(value & opt (some string) None
+       & info [ "daemon-socket" ] ~docv:"PATH"
+           ~doc:"Socket of the $(b,hlod) daemon (default: \
+                 $(b,HLOD_SOCKET), else the per-user temp path).")
+
 let cmd =
   let doc = "profile-guided cross-module inlining and cloning for MiniC" in
   let info = Cmd.info "hloc" ~version:"1.0" ~doc in
   Cmd.v info
     Term.(ret
             (const compile_and_run $ files $ scope $ budget $ passes $ no_inline
-            $ no_clone $ max_ops $ dump_ir $ dump_asm $ dump_profile $ stats
-            $ runner $ entry_name $ trace $ trace_format $ telemetry_summary
-            $ jobs $ summary_cache $ compile_only $ link_isoms $ incremental
-            $ isom_dir $ output $ write_profiles))
+            $ no_clone $ max_ops $ dump_ir $ dump_asm $ dump_profile
+            $ dump_journal $ stats $ runner $ entry_name $ trace $ trace_format
+            $ telemetry_summary $ jobs $ summary_cache $ compile_only
+            $ link_isoms $ incremental $ isom_dir $ output $ write_profiles
+            $ daemon $ daemon_socket))
 
 let () = exit (Cmd.eval cmd)

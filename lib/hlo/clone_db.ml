@@ -1,0 +1,118 @@
+(** Cross-request clone-template cache.
+
+    See the interface for the contract.  A template is the clone a
+    canonical materialization would produce — clone name [""], fresh
+    sites drawn from a counter starting at 0 — so instantiating it
+    under real identifiers is one walk: set the name, replace relative
+    site [i] with the i-th id drawn from the caller's [fresh_site].
+
+    The key must cover everything [Clone_spec.make_clone] reads from
+    the callee.  [Ucode.Hash.routine_body_hash] covers params,
+    attributes, blocks, instructions and terminators but deliberately
+    excludes identity, so the key re-adds the fields the clone copies
+    verbatim: name (the baked [r_origin] points at it), module, origin,
+    and the register/label high-water marks. *)
+
+module U = Ucode.Types
+
+type template = {
+  t_clone : U.routine;  (** r_name = "", call sites renumbered 0..k-1 *)
+  t_site_map : (U.site * U.site) list;  (** original -> relative *)
+  t_n_sites : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let lock = Mutex.create ()
+let table : (string, template) Hashtbl.t = Hashtbl.create 64
+let hits = ref 0
+let misses = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let key_of ~(callee : U.routine) (spec : Clone_spec.t) =
+  let origin =
+    match callee.U.r_origin with
+    | U.From_source -> "src"
+    | U.Clone_of o -> "clone:" ^ o
+  in
+  Printf.sprintf "%s|%s|%s|%s|%d|%d|%s"
+    (Ucode.Hash.routine_body_hash callee)
+    callee.U.r_name callee.U.r_module origin callee.U.r_next_reg
+    callee.U.r_next_label (Clone_spec.key spec)
+
+(* ------------------------------------------------------------------ *)
+(* Normalization and instantiation.                                    *)
+
+let build_template ~callee spec : template =
+  let next = ref 0 in
+  let fresh_site () =
+    let s = !next in
+    incr next;
+    s
+  in
+  let clone, site_map =
+    Clone_spec.make_clone ~callee ~clone_name:"" ~fresh_site spec
+  in
+  { t_clone = clone; t_site_map = site_map; t_n_sites = !next }
+
+let instantiate (t : template) ~clone_name ~fresh_site :
+    U.routine * (U.site * U.site) list =
+  (* Draw in relative-id order: the canonical counter handed out
+     0, 1, … in draw order, so actual.(i) is what the i-th draw of
+     [fresh_site] would have produced on the direct path. *)
+  let actual = Array.init t.t_n_sites (fun _ -> fresh_site ()) in
+  let instr = function
+    | U.Call c -> U.Call { c with U.c_site = actual.(c.U.c_site) }
+    | i -> i
+  in
+  let blocks =
+    List.map
+      (fun (b : U.block) ->
+        { b with U.b_instrs = List.map instr b.U.b_instrs })
+      t.t_clone.U.r_blocks
+  in
+  ( { t.t_clone with U.r_name = clone_name; U.r_blocks = blocks },
+    List.map (fun (o, rel) -> (o, actual.(rel))) t.t_site_map )
+
+(* ------------------------------------------------------------------ *)
+(* The memoized entry point.                                           *)
+
+let make_clone ~callee ~clone_name ~fresh_site spec =
+  if Chaos.armed () <> None then
+    (* A chaos bug mutates materialization itself; serving a template
+       built before (or after) arming would hide or leak the bug. *)
+    Clone_spec.make_clone ~callee ~clone_name ~fresh_site spec
+  else begin
+    let key = key_of ~callee spec in
+    let tpl =
+      match
+        locked (fun () ->
+            match Hashtbl.find_opt table key with
+            | Some t -> incr hits; Some t
+            | None -> incr misses; None)
+      with
+      | Some t -> t
+      | None ->
+        (* Build outside the lock; a racing request may build the same
+           template, both are identical and either insert wins. *)
+        let t = build_template ~callee spec in
+        locked (fun () -> Hashtbl.replace table key t);
+        t
+    in
+    instantiate tpl ~clone_name ~fresh_site
+  end
+
+let stats () =
+  locked (fun () ->
+      { hits = !hits; misses = !misses; entries = Hashtbl.length table })
+
+let reset_stats () = locked (fun () -> hits := 0; misses := 0)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      hits := 0;
+      misses := 0)

@@ -203,8 +203,11 @@ let apply_group (st : State.t) ~(pass : int) (g : group) : unit =
       entry
     | None ->
       let clone_name = State.fresh_clone_name st g.g_callee in
+      (* Materialize through the cross-request template cache: a
+         long-lived server re-cloning the same callee under the same
+         spec pays one body copy, then a renaming walk per request. *)
       let clone, site_map =
-        Clone_spec.make_clone ~callee ~clone_name
+        Clone_db.make_clone ~callee ~clone_name
           ~fresh_site:(fun () -> State.fresh_site st)
           g.g_spec
       in

@@ -1,0 +1,155 @@
+(** Admission control: the Σ size² budget as a serving resource.  See
+    the interface for the contract.
+
+    The implementation is a FIFO ticket queue under one mutex: each
+    waiter takes a sequence number and blocks until it is at the head
+    *and* its cost fits in the remaining pool.  Head-of-line blocking
+    is deliberate — grants are strictly in arrival order, so a stream
+    of small requests cannot starve a big one forever. *)
+
+type t = {
+  server_budget : float;
+  request_budget : float;
+  queue_limit : int;
+  lock : Mutex.t;
+  turn : Condition.t;  (** broadcast whenever capacity or the head moves *)
+  mutable in_use : float;
+  mutable next_seq : int;  (** next ticket number to hand out *)
+  mutable serving : int;  (** lowest ticket number not yet granted *)
+  mutable waiting : int;
+  mutable closed : bool;
+  (* lifetime statistics *)
+  mutable admitted : int;
+  mutable queued : int;
+  mutable rejected_over_budget : int;
+  mutable rejected_queue_full : int;
+  mutable rejected_shutdown : int;
+  mutable peak_waiting : int;
+}
+
+let create ~server_budget ~request_budget ~queue_limit =
+  { server_budget; request_budget; queue_limit; lock = Mutex.create ();
+    turn = Condition.create (); in_use = 0.0; next_seq = 0; serving = 0;
+    waiting = 0; closed = false; admitted = 0; queued = 0;
+    rejected_over_budget = 0; rejected_queue_full = 0;
+    rejected_shutdown = 0; peak_waiting = 0 }
+
+let bytes_per_instr = 16
+
+let cost_of_modules modules =
+  List.fold_left
+    (fun acc (_, source) ->
+      let est_instrs = max 1 (String.length source / bytes_per_instr) in
+      acc +. Ucode.Size.cost_of_size est_instrs)
+    0.0 modules
+
+type ticket = { tk_cost : float; tk_queued : bool; tk_queued_us : float }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let reject kind cost limit reason : Protocol.reject =
+  { Protocol.rj_kind = kind; rj_cost = cost; rj_limit = limit;
+    rj_reason = reason }
+
+let admit t ~cost =
+  locked t @@ fun () ->
+  if t.closed then begin
+    t.rejected_shutdown <- t.rejected_shutdown + 1;
+    Error
+      (reject "shutting_down" cost 0.0 "the server is shutting down")
+  end
+  else
+    let limit = Float.min t.request_budget t.server_budget in
+    if cost > limit then begin
+      t.rejected_over_budget <- t.rejected_over_budget + 1;
+      Error
+        (reject "request_over_budget" cost limit
+           (Printf.sprintf
+              "estimated cost %.0f size^2 units exceeds the per-request \
+               budget of %.0f"
+              cost limit))
+    end
+    else
+      let fits () = t.in_use +. cost <= t.server_budget in
+      let head seq = seq = t.serving in
+      let my = t.next_seq in
+      if (not (head my && fits ())) && t.waiting >= t.queue_limit then begin
+        t.rejected_queue_full <- t.rejected_queue_full + 1;
+        Error
+          (reject "queue_full" cost
+             (float_of_int t.queue_limit)
+             (Printf.sprintf
+                "server busy and the admission queue already holds %d \
+                 requests"
+                t.waiting))
+      end
+      else begin
+        t.next_seq <- t.next_seq + 1;
+        let was_queued = not (head my && fits ()) in
+        let t0 = if was_queued then Telemetry.Clock.now_us () else 0.0 in
+        if was_queued then begin
+          t.waiting <- t.waiting + 1;
+          t.peak_waiting <- max t.peak_waiting t.waiting;
+          while (not t.closed) && not (head my && fits ()) do
+            Condition.wait t.turn t.lock
+          done;
+          t.waiting <- t.waiting - 1
+        end;
+        if t.closed then begin
+          (* Give up the turn so waiters behind us can also fail out. *)
+          t.serving <- t.serving + 1;
+          Condition.broadcast t.turn;
+          t.rejected_shutdown <- t.rejected_shutdown + 1;
+          Error
+            (reject "shutting_down" cost 0.0 "the server is shutting down")
+        end
+        else begin
+          t.serving <- t.serving + 1;
+          t.in_use <- t.in_use +. cost;
+          t.admitted <- t.admitted + 1;
+          if was_queued then t.queued <- t.queued + 1;
+          (* The head moved: the next waiter may now be eligible. *)
+          Condition.broadcast t.turn;
+          Ok
+            { tk_cost = cost; tk_queued = was_queued;
+              tk_queued_us =
+                (if was_queued then Telemetry.Clock.now_us () -. t0 else 0.0)
+            }
+        end
+      end
+
+let release t ticket =
+  locked t @@ fun () ->
+  t.in_use <- Float.max 0.0 (t.in_use -. ticket.tk_cost);
+  Condition.broadcast t.turn
+
+let close t =
+  locked t @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.turn
+
+type snapshot = {
+  sn_in_use : float;
+  sn_server_budget : float;
+  sn_request_budget : float;
+  sn_queue_limit : int;
+  sn_waiting : int;
+  sn_admitted : int;
+  sn_queued : int;
+  sn_rejected_over_budget : int;
+  sn_rejected_queue_full : int;
+  sn_rejected_shutdown : int;
+  sn_peak_waiting : int;
+}
+
+let snapshot t =
+  locked t @@ fun () ->
+  { sn_in_use = t.in_use; sn_server_budget = t.server_budget;
+    sn_request_budget = t.request_budget; sn_queue_limit = t.queue_limit;
+    sn_waiting = t.waiting; sn_admitted = t.admitted; sn_queued = t.queued;
+    sn_rejected_over_budget = t.rejected_over_budget;
+    sn_rejected_queue_full = t.rejected_queue_full;
+    sn_rejected_shutdown = t.rejected_shutdown;
+    sn_peak_waiting = t.peak_waiting }

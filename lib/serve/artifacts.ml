@@ -1,0 +1,147 @@
+(** Content-addressed artifact store.  See the interface for the
+    contract.  The disk payload is the JSON encoding of the response
+    pieces inside the shared {!Store} container — human-inspectable
+    with [tail -c +N], checksummed, versioned, and fail-safe to load. *)
+
+module J = Telemetry.Json
+
+type t = {
+  dir : string option;
+  lock : Mutex.t;
+  table : (string, (string * string) list) Hashtbl.t;
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable disk_errors : int;
+}
+
+let create ?dir () =
+  { dir; lock = Mutex.create (); table = Hashtbl.create 64; mem_hits = 0;
+    disk_hits = 0; misses = 0; insertions = 0; disk_errors = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let key ~modules ~options_canon =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf Protocol.magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf options_canon;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, source) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf
+        (Minic.Compile.source_hash
+           (Minic.Compile.source ~module_name:name source));
+      Buffer.add_char buf '\n')
+    modules;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Disk layer.                                                         *)
+
+let disk_magic = "hlod-artifact"
+let disk_version = 1
+
+let artifact_path dir k = Filename.concat dir (k ^ ".hart")
+
+let outputs_to_payload outputs =
+  J.to_string
+    (J.List
+       (List.map
+          (fun (ch, text) ->
+            J.Assoc [ ("channel", J.String ch); ("text", J.String text) ])
+          outputs))
+
+let outputs_of_payload payload =
+  match J.of_string payload with
+  | Error _ -> None
+  | Ok json -> (
+    match J.to_list_opt json with
+    | None -> None
+    | Some items ->
+      let rec decode acc = function
+        | [] -> Some (List.rev acc)
+        | item :: rest -> (
+          match
+            ( Option.bind (J.member "channel" item) J.to_string_opt,
+              Option.bind (J.member "text" item) J.to_string_opt )
+          with
+          | Some ch, Some text -> decode ((ch, text) :: acc) rest
+          | _ -> None)
+      in
+      decode [] items)
+
+let disk_find t k =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+    match
+      Store.load ~path:(artifact_path dir k) ~magic:disk_magic
+        ~version:disk_version
+    with
+    | Ok None -> None
+    | Ok (Some payload) -> outputs_of_payload payload
+    | Error _ ->
+      t.disk_errors <- t.disk_errors + 1;
+      None)
+
+let disk_add t k outputs =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then (try Unix.mkdir dir 0o755 with _ -> ());
+    (match
+       Store.save ~path:(artifact_path dir k) ~magic:disk_magic
+         ~version:disk_version
+         (outputs_to_payload outputs)
+     with
+    | Ok () -> ()
+    | Error _ -> t.disk_errors <- t.disk_errors + 1)
+
+(* ------------------------------------------------------------------ *)
+
+type hit_kind = Memory | Disk
+
+let find t k =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table k with
+  | Some outputs ->
+    t.mem_hits <- t.mem_hits + 1;
+    Some (outputs, Memory)
+  | None -> (
+    match disk_find t k with
+    | Some outputs ->
+      t.disk_hits <- t.disk_hits + 1;
+      Hashtbl.replace t.table k outputs;
+      Some (outputs, Disk)
+    | None ->
+      t.misses <- t.misses + 1;
+      None)
+
+let add t k outputs =
+  locked t @@ fun () ->
+  if not (Hashtbl.mem t.table k) then begin
+    Hashtbl.replace t.table k outputs;
+    t.insertions <- t.insertions + 1;
+    disk_add t k outputs
+  end
+
+type snapshot = {
+  sn_entries : int;
+  sn_mem_hits : int;
+  sn_disk_hits : int;
+  sn_misses : int;
+  sn_insertions : int;
+  sn_disk_errors : int;
+}
+
+let snapshot t =
+  locked t @@ fun () ->
+  { sn_entries = Hashtbl.length t.table; sn_mem_hits = t.mem_hits;
+    sn_disk_hits = t.disk_hits; sn_misses = t.misses;
+    sn_insertions = t.insertions; sn_disk_errors = t.disk_errors }

@@ -1,0 +1,43 @@
+(** Content-addressed artifact store for the compile daemon.
+
+    A compile request is addressed by what it *is*: the source hashes
+    of its modules (the isom layer's staleness keys) plus every option
+    that can change the output.  Identical modules submitted by any
+    number of clients therefore compile exactly once; later requests
+    are served the stored response pieces byte-for-byte.
+
+    Artifacts live in a mutex-guarded memory table and, when a
+    directory is configured, on disk in the shared {!Store} container
+    (magic ["hlod-artifact"]), so a restarted daemon keeps its cache.
+    Disk loading is fail-safe: a corrupt artifact is treated as a
+    miss and recompiled, never trusted. *)
+
+type t
+
+(** [create ~dir ()] — [dir] is created on first write if missing. *)
+val create : ?dir:string -> unit -> t
+
+(** The content address: module source hashes + the canonical option
+    string.  Stable across processes and runs. *)
+val key :
+  modules:(string * string) list -> options_canon:string -> string
+
+type hit_kind = Memory | Disk
+
+(** Look up stored response pieces; a disk hit is promoted into
+    memory. *)
+val find : t -> string -> ((string * string) list * hit_kind) option
+
+(** Store the pieces under [key] (memory, and disk when configured). *)
+val add : t -> string -> (string * string) list -> unit
+
+type snapshot = {
+  sn_entries : int;  (** resident in memory *)
+  sn_mem_hits : int;
+  sn_disk_hits : int;
+  sn_misses : int;
+  sn_insertions : int;
+  sn_disk_errors : int;  (** unreadable/unwritable artifacts, tolerated *)
+}
+
+val snapshot : t -> snapshot

@@ -1,0 +1,52 @@
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  max_bytes : int;
+}
+
+let default_socket () =
+  match Sys.getenv_opt "HLOD_SOCKET" with
+  | Some path when path <> "" -> path
+  | _ ->
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hlod-%d.sock" (Unix.getuid ()))
+
+let connect ?(max_bytes = P.default_max_frame) socket =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () ->
+    Ok
+      { fd; ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd; max_bytes }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" socket
+         (Unix.error_message e))
+
+let close t =
+  (try flush t.oc with _ -> ());
+  (* Close the fd exactly once; the channels are not closed by the GC
+     so there is no double-close hazard. *)
+  (try Unix.close t.fd with _ -> ())
+
+let roundtrip t req =
+  match P.write_request t.oc req with
+  | exception e -> Error ("send failed: " ^ Printexc.to_string e)
+  | () -> (
+    match P.read_response ~max_bytes:t.max_bytes t.ic with
+    | Ok resp -> Ok resp
+    | Error e -> Error (P.frame_error_to_string e))
+
+let probe socket =
+  match connect socket with
+  | Error _ -> false
+  | Ok t ->
+    let alive =
+      match roundtrip t P.Ping with Ok P.Pong -> true | _ -> false
+    in
+    close t;
+    alive

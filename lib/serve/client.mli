@@ -1,0 +1,24 @@
+(** Client side of the hlod protocol: connect, one request / one
+    response round trips, and the probe `hloc --daemon auto` uses to
+    decide between the daemon and the in-process pipeline.
+
+    Errors are values ([result]), never exceptions — a missing daemon
+    is an expected state, not a crash. *)
+
+type t
+
+(** [HLOD_SOCKET] if set and non-empty, else [/tmp/hlod-<uid>.sock] —
+    per-user so two users on one machine don't fight over a path. *)
+val default_socket : unit -> string
+
+val connect : ?max_bytes:int -> string -> (t, string) result
+
+val close : t -> unit
+
+(** Send one request and read its response.  On error the connection
+    is in an unknown state and should be {!close}d. *)
+val roundtrip : t -> Protocol.request -> (Protocol.response, string) result
+
+(** [connect] + [Ping]/[Pong] + [close]: is a live daemon answering at
+    [socket]? *)
+val probe : string -> bool

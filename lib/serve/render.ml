@@ -1,0 +1,45 @@
+(** The one place that knows what `hloc`'s outputs look like.  Every
+    format string here used to live inline in [bin/hloc.ml]; they were
+    moved, not rephrased, so the bytes are unchanged — and now the
+    daemon and the CLI cannot disagree. *)
+
+let train_line (r : Interp.result) =
+  Fmt.str "[train] %d IR steps, output %d bytes@." r.Interp.steps
+    (String.length r.Interp.output)
+
+let profile p = Fmt.str "%a@." Ucode.Profile.pp p
+
+let report_line r = Fmt.str "[hlo] %a@." Hlo.Report.pp r
+
+let ir p = Fmt.str "%a@." Ucode.Pp.pp_program p
+
+let asm p = Fmt.str "%a@." Machine.Layout.pp (Machine.Layout.build p)
+
+let journal (decisions : Telemetry.Event.decision list) =
+  let module E = Telemetry.Event in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (d : E.decision) ->
+      let reason =
+        match d.E.d_verdict with
+        | E.Accepted -> ""
+        | E.Rejected r -> "(" ^ r ^ ")"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s%s %s<-%s site=%d score=%.6g pass=%d\n"
+           (E.kind_name d.E.d_kind)
+           (E.verdict_name d.E.d_verdict)
+           reason d.E.d_subject d.E.d_context d.E.d_site d.E.d_score
+           d.E.d_pass))
+    decisions;
+  Buffer.contents buf
+
+let interp_stats_line (r : Interp.result) =
+  Fmt.str "[interp] exit=%Ld steps=%d@." r.Interp.exit_code r.Interp.steps
+
+let sim_stats_line (r : Machine.Sim.result) =
+  Fmt.str "[sim] exit=%Ld %a@." r.Machine.Sim.exit_code Machine.Metrics.pp
+    r.Machine.Sim.metrics
+
+let diag diags =
+  String.concat "" (List.map (fun d -> Fmt.str "%a@." Minic.Diag.pp d) diags)

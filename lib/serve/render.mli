@@ -1,0 +1,36 @@
+(** Rendering of compile results to the exact bytes `hloc` prints.
+
+    Both `hloc`'s in-process path and the daemon service call these —
+    one definition per output piece — so a daemon-served compile is
+    bit-identical to a local one *by construction*, not by parallel
+    maintenance of two format strings. *)
+
+val train_line : Interp.result -> string
+(** ["[train] %d IR steps, output %d bytes\n"] *)
+
+val profile : Ucode.Profile.t -> string
+
+val report_line : Hlo.Report.t -> string
+(** ["[hlo] ...\n"] *)
+
+val ir : Ucode.Types.program -> string
+
+val asm : Ucode.Types.program -> string
+
+(** The optimizer decision journal in its canonical text form: one
+    line per decision —
+
+      kind verdict[(reason)] subject<-context site=N score=S pass=P
+
+    — wall-clock excluded, so the text is a deterministic function of
+    the decisions taken.  This is the "journal" the daemon
+    bit-identity contract covers. *)
+val journal : Telemetry.Event.decision list -> string
+
+val interp_stats_line : Interp.result -> string
+
+val sim_stats_line : Machine.Sim.result -> string
+
+val diag : Minic.Diag.t list -> string
+(** One pretty-printed diagnostic per line, as `hloc` sends to
+    stderr. *)
