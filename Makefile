@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-json bench-scale bench-serve fuzz-smoke ci clean
+.PHONY: all build check test bench bench-json bench-scale bench-serve fuzz-smoke tune-smoke ci clean
 
 all: build
 
@@ -38,6 +38,21 @@ bench-serve:
 fuzz-smoke:
 	dune exec bin/hlo_fuzz.exe -- --seed 1 --iters 400 --time-budget 30 \
 	  --out _build/fuzz
+
+# Policy tuner smoke gate: tiny fixed-seed search on two benchmarks
+# (train input), run twice; the JSON results must be bit-identical
+# (the tuner's determinism contract), and every scored candidate is
+# oracle-gated by construction.  Winning policies land under
+# _build/tune_policies/ for hloc --policy.
+tune-smoke:
+	dune build bin/hlo_tune.exe
+	_build/default/bin/hlo_tune.exe --bench 026.compress --bench 099.go \
+	  --samples 4 --rounds 1 --mutations 2 --stale-rounds 1 --input train \
+	  --json _build/tune_smoke_a.json --policies _build/tune_policies
+	_build/default/bin/hlo_tune.exe --bench 026.compress --bench 099.go \
+	  --samples 4 --rounds 1 --mutations 2 --stale-rounds 1 --input train \
+	  --json _build/tune_smoke_b.json > /dev/null
+	cmp _build/tune_smoke_a.json _build/tune_smoke_b.json
 
 ci:
 	./ci.sh

@@ -42,15 +42,27 @@ let print_outputs outputs =
   flush stdout;
   flush stderr
 
-let compile files scope budget passes no_inline no_clone max_ops dump_ir
-    dump_asm dump_profile dump_journal stats runner main socket verbose =
+let compile files scope budget passes no_inline no_clone max_ops policy
+    dump_ir dump_asm dump_profile dump_journal stats runner main socket
+    verbose =
   let modules =
     List.map (fun path -> (module_name_of_path path, read_file path)) files
   in
+  match
+    match policy with
+    | None -> Ok None
+    | Some path -> (
+      match Policy.load ~path with
+      | Ok (Some p) -> Ok (Some (Policy.to_string p))
+      | Ok None -> Error (Printf.sprintf "policy file %s does not exist" path)
+      | Error msg -> Error msg)
+  with
+  | Error msg -> `Error (false, msg)
+  | Ok co_policy ->
   let options =
     { P.co_scope = scope; co_budget = budget; co_passes = passes;
       co_inline = not no_inline; co_clone = not no_clone;
-      co_max_ops = max_ops; co_main = main; co_runner = runner;
+      co_max_ops = max_ops; co_policy; co_main = main; co_runner = runner;
       co_stats = stats; co_dump_ir = dump_ir; co_dump_profile = dump_profile;
       co_dump_asm = dump_asm; co_dump_journal = dump_journal }
   in
@@ -134,6 +146,13 @@ let max_ops =
        & info [ "max-operations" ] ~docv:"N"
            ~doc:"Stop after N inline/clone operations.")
 
+let policy =
+  Arg.(value & opt (some file) None
+       & info [ "policy" ] ~docv:"FILE"
+           ~doc:"Send a tuned HLO policy with the request ($(docv) as for \
+                 `hloc --policy`); the daemon overlays it exactly as \
+                 `hloc --policy` does.")
+
 let dump_ir =
   Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the optimized ucode.")
 
@@ -174,7 +193,7 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(ret
             (const compile $ files $ scope $ budget $ passes $ no_inline
-            $ no_clone $ max_ops $ dump_ir $ dump_asm $ dump_profile
+            $ no_clone $ max_ops $ policy $ dump_ir $ dump_asm $ dump_profile
             $ dump_journal $ stats_flag $ runner $ entry_name $ socket
             $ verbose))
 

@@ -69,8 +69,8 @@ let print_daemon_outputs outputs =
    means "no usable daemon" — `--daemon auto` falls back to the
    in-process pipeline, `--daemon require` reports [msg]. *)
 let try_daemon ~socket ~files ~scope ~budget ~passes ~no_inline ~no_clone
-    ~max_ops ~dump_ir ~dump_asm ~dump_profile ~dump_journal ~stats ~runner
-    ~main =
+    ~max_ops ~policy_text ~dump_ir ~dump_asm ~dump_profile ~dump_journal
+    ~stats ~runner ~main =
   let module P = Serve.Protocol in
   let socket =
     match socket with Some s -> s | None -> Serve.Client.default_socket ()
@@ -90,7 +90,8 @@ let try_daemon ~socket ~files ~scope ~budget ~passes ~no_inline ~no_clone
       let options =
         { P.co_scope = Hlo.Config.scope_name scope; co_budget = budget;
           co_passes = passes; co_inline = not no_inline;
-          co_clone = not no_clone; co_max_ops = max_ops; co_main = main;
+          co_clone = not no_clone; co_max_ops = max_ops;
+          co_policy = policy_text; co_main = main;
           co_runner =
             (match runner with
             | Run_none -> "none"
@@ -117,9 +118,44 @@ let try_daemon ~socket ~files ~scope ~budget ~passes ~no_inline ~no_clone
       | Ok _ -> Error "daemon sent an unexpected response")
 
 let compile_and_run files scope budget passes no_inline no_clone max_ops
-    dump_ir dump_asm dump_profile dump_journal stats runner main trace
-    trace_format telemetry_summary jobs summary_cache compile_only link_isoms
-    incremental isom_dir output write_profiles daemon daemon_socket =
+    policy_file dump_policy dump_ir dump_asm dump_profile dump_journal stats
+    runner main trace trace_format telemetry_summary jobs summary_cache
+    compile_only link_isoms incremental isom_dir output write_profiles daemon
+    daemon_socket =
+  (* The policy (when given) overlays the tuned knobs — budget, staging,
+     pass limit, heuristics thresholds, stage order — on top of the
+     flag-derived configuration, so `--policy` wins over `--budget` and
+     `--passes`.  Scope and transform switches stay with the flags. *)
+  match
+    match policy_file with
+    | None -> Ok None
+    | Some path -> (
+      match Policy.load ~path with
+      | Ok (Some p) -> Ok (Some p)
+      | Ok None -> Error (Printf.sprintf "policy file %s does not exist" path)
+      | Error msg -> Error msg)
+  with
+  | Error msg -> `Error (false, msg)
+  | Ok policy_opt ->
+  let config =
+    let base =
+      Hlo.Config.with_scope
+        { Hlo.Config.default with
+          Hlo.Config.budget_percent = budget; pass_limit = passes;
+          enable_inlining = not no_inline; enable_cloning = not no_clone;
+          max_operations = max_ops }
+        scope
+    in
+    match policy_opt with
+    | None -> base
+    | Some p -> Hlo.Config.of_policy ~base p
+  in
+  if dump_policy then begin
+    print_string (Policy.to_string (Hlo.Config.to_policy config));
+    `Ok ()
+  end
+  else if files = [] then `Error (true, "no input files")
+  else
   match
     (match (compile_only, link_isoms, incremental) with
     | true, true, _ | true, _, true | _, true, true ->
@@ -160,8 +196,9 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
     | Daemon_auto | Daemon_require -> (
       match
         try_daemon ~socket:daemon_socket ~files ~scope ~budget ~passes
-          ~no_inline ~no_clone ~max_ops ~dump_ir ~dump_asm ~dump_profile
-          ~dump_journal ~stats ~runner ~main
+          ~no_inline ~no_clone ~max_ops
+          ~policy_text:(Option.map Policy.to_string policy_opt)
+          ~dump_ir ~dump_asm ~dump_profile ~dump_journal ~stats ~runner ~main
       with
       | Ok result -> `Served result
       | Error msg ->
@@ -320,14 +357,6 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
         (program, diags, Some (maps, paired, seed))
     in
     prerr_string (Serve.Render.diag diags);
-    let config =
-      Hlo.Config.with_scope
-        { Hlo.Config.default with
-          Hlo.Config.budget_percent = budget; pass_limit = passes;
-          enable_inlining = not no_inline; enable_cloning = not no_clone;
-          max_operations = max_ops }
-        scope
-    in
     let seed_profile =
       match link_info with Some (_, _, s) -> s | None -> None
     in
@@ -400,9 +429,10 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
       (false, Printf.sprintf "machine trap at %d: %s" pc (Machine.Sim.trap_message t))
 
 let files =
-  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE"
          ~doc:"MiniC source modules ($(b,.mc)) and/or isom object files \
-               ($(b,.isom)); the module name is the file basename.")
+               ($(b,.isom)); the module name is the file basename.  \
+               Required except with $(b,--dump-policy).")
 
 let scope =
   let parse = function
@@ -439,6 +469,24 @@ let max_ops =
        & info [ "max-operations" ] ~docv:"N"
            ~doc:"Artificially stop after N inline/clone operations (the \
                  Figure 8 instrumentation).")
+
+let policy_file =
+  Arg.(value & opt (some string) None
+       & info [ "policy" ] ~docv:"FILE"
+           ~doc:"Load a tuned HLO policy (written by $(b,hlo_tune) or \
+                 $(b,--dump-policy) plus $(b,Policy.save)) and apply its \
+                 knobs — budget, staging, pass limit, heuristic \
+                 thresholds, stage order — overriding $(b,--budget) and \
+                 $(b,--passes).  Scope and transform switches still come \
+                 from the flags.")
+
+let dump_policy =
+  Arg.(value & flag
+       & info [ "dump-policy" ]
+           ~doc:"Print the effective policy in its canonical text form \
+                 and exit without compiling.  Composes with the tuning \
+                 flags and $(b,--policy), so it shows exactly what a \
+                 compile with the same flags would use.")
 
 let dump_ir =
   Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the optimized ucode.")
@@ -606,7 +654,8 @@ let cmd =
   Cmd.v info
     Term.(ret
             (const compile_and_run $ files $ scope $ budget $ passes $ no_inline
-            $ no_clone $ max_ops $ dump_ir $ dump_asm $ dump_profile
+            $ no_clone $ max_ops $ policy_file $ dump_policy
+            $ dump_ir $ dump_asm $ dump_profile
             $ dump_journal $ stats $ runner $ entry_name $ trace $ trace_format
             $ telemetry_summary $ jobs $ summary_cache $ compile_only
             $ link_isoms $ incremental $ isom_dir $ output $ write_profiles

@@ -14,14 +14,14 @@
 open Cmdliner
 
 let serve socket jobs server_budget request_budget queue_limit artifact_dir
-    summary_cache max_frame verbose =
+    artifact_cap summary_cache max_frame verbose =
   let socket =
     match socket with Some s -> s | None -> Serve.Client.default_socket ()
   in
   let jobs = if jobs > 0 then jobs else Parallel.Pool.get_jobs () in
   let config =
     { Serve.Service.jobs; server_budget; request_budget; queue_limit;
-      artifact_dir; summary_cache; max_frame }
+      artifact_dir; artifact_cap; summary_cache; max_frame }
   in
   match Serve.Server.start ~socket config with
   | exception Unix.Unix_error (e, _, _) ->
@@ -79,6 +79,14 @@ let artifact_dir =
            ~doc:"Persist compile artifacts (content-addressed) under \
                  $(docv), surviving daemon restarts.")
 
+let artifact_cap =
+  Arg.(value & opt (some int) None
+       & info [ "artifact-cap" ] ~docv:"N"
+           ~doc:"Keep at most $(docv) artifacts per tier: the in-memory \
+                 table evicts least-recently-used entries and the \
+                 $(b,--artifact-dir) directory drops its oldest files.  \
+                 Unset means unbounded.")
+
 let summary_cache =
   Arg.(value & opt (some string) None
        & info [ "summary-cache" ] ~docv:"PATH"
@@ -99,7 +107,7 @@ let cmd =
   Cmd.v info
     Term.(ret
             (const serve $ socket $ jobs $ server_budget $ request_budget
-            $ queue_limit $ artifact_dir $ summary_cache $ max_frame
-            $ verbose))
+            $ queue_limit $ artifact_dir $ artifact_cap $ summary_cache
+            $ max_frame $ verbose))
 
 let () = exit (Cmd.eval cmd)

@@ -57,6 +57,12 @@ let run_scaling () =
   section "Scaling study (paper 3.5): synthetic production-size programs";
   print_string (Experiments.Scaling.to_table (Experiments.Scaling.run ()))
 
+let run_pareto input =
+  section "Pareto fronts: tuned policies vs the 1997 default (hlo_tune)";
+  print_string
+    (Experiments.Policy_search.to_table
+       (Experiments.Policy_search.run ~input ()))
+
 let run_ablations input =
   section "Ablations: staging / cold penalty / outlining / positioning";
   List.iter
@@ -75,6 +81,7 @@ let run what input =
   | "ablations" -> run_ablations input
   | "scaling" -> run_scaling ()
   | "cache" -> run_cache_sweep input
+  | "pareto" -> run_pareto input
   | "all" ->
     run_fig5 ();
     run_table1 input;
@@ -91,8 +98,10 @@ let what =
   Arg.(value & pos 0 string "all"
        & info [] ~docv:"EXPERIMENT"
            ~doc:"One of $(b,fig5), $(b,table1), $(b,fig6), $(b,fig7), \
-                 $(b,fig8), $(b,ablations), $(b,cache), $(b,scaling) or \
-                 $(b,all).")
+                 $(b,fig8), $(b,ablations), $(b,cache), $(b,scaling), \
+                 $(b,pareto) or $(b,all).  $(b,pareto) (the $(b,hlo_tune) \
+                 search at default parameters) is not part of $(b,all); \
+                 use $(b,hlo_tune) itself for the full interface.")
 
 let cmd =
   let doc = "regenerate the evaluation tables and figures of the paper" in

@@ -88,6 +88,21 @@ grep -q 'recompiled telemetry_main: unreadable' "$tmp/inc-corrupt.txt"
 diff -u <(grep -v '^\[isom\]' "$tmp/inc-corrupt.txt") "$tmp/whole.txt"
 echo "truncated isom recompiled transparently, output identical"
 
+echo "== policy smoke (hloc --policy round trip, make tune-smoke) =="
+# The dumped default policy fed back through --policy must change
+# nothing; then the tiny fixed-seed tuner run (twice, bit-identical
+# JSON) and a load of its winning policy into hloc.
+dune exec bin/hloc.exe -- --dump-policy > "$tmp/default.policy"
+dune exec bin/hloc.exe -- \
+  examples/telemetry_util.mc examples/telemetry_main.mc \
+  --dump-ir --stats --run interp --policy "$tmp/default.policy" \
+  > "$tmp/policy-run.txt"
+diff -u "$tmp/whole.txt" "$tmp/policy-run.txt"
+make tune-smoke
+dune exec bin/hloc.exe -- \
+  --policy _build/tune_policies/specint92.policy --dump-policy > /dev/null
+echo "policy round trip identical; tuner deterministic"
+
 echo "== scale bench smoke (make bench-scale) =="
 # One 1000-routine synthetic workload compiled at jobs 1 and jobs 4:
 # IR, report and decision journal must be bit-identical, and on a

@@ -15,7 +15,9 @@ type t = {
 }
 
 let create (config : Config.t) ~initial_cost =
-  if config.Config.staging = [] then invalid_arg "Budget.create: empty staging";
+  (match Policy.check_staging config.Config.staging with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Budget.create: " ^ msg));
   { base_cost = initial_cost;
     allowance = initial_cost *. config.Config.budget_percent /. 100.0;
     staging = Array.of_list config.Config.staging; spent = 0.0 }

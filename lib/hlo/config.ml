@@ -37,6 +37,14 @@ type t = {
       (** extract cold single-entry regions into routines of their own
           before inlining starts — the paper's §5 "aggressive
           outlining" future work; requires profile data *)
+  outline_cold_fraction : float;
+      (** a block colder than this fraction of its routine's entry
+          count is outlinable *)
+  outline_min_instructions : int;  (** smallest region worth a call *)
+  outline_max_inputs : int;  (** most live-in registers per region *)
+  stage_order : Policy.stage list;
+      (** the schedule interpreted once per pass; the default is the
+          fixed clone/inline/prune/clean/prune order of the paper *)
   validate : bool;  (** check IR invariants after each pass (testing) *)
 }
 
@@ -46,7 +54,34 @@ let default =
     enable_cloning = true; cross_module = true; use_profile = true;
     max_operations = None; optimize_between_passes = true;
     cold_site_penalty = 0.25; indirect_bonus = 4.0;
-    enable_outlining = false; validate = false }
+    enable_outlining = false; outline_cold_fraction = 0.05;
+    outline_min_instructions = 6; outline_max_inputs = 6;
+    stage_order = Policy.default.Policy.stages; validate = false }
+
+(** Overlay a policy's knobs on [base] (default: {!default}).  Scope
+    switches, validation and Figure 8 instrumentation are not policy
+    material and keep [base]'s values. *)
+let of_policy ?(base = default) (p : Policy.t) =
+  { base with
+    budget_percent = p.Policy.budget_percent; staging = p.Policy.staging;
+    pass_limit = p.Policy.pass_limit;
+    cold_site_penalty = p.Policy.cold_site_penalty;
+    indirect_bonus = p.Policy.indirect_bonus;
+    enable_outlining = p.Policy.outline;
+    outline_cold_fraction = p.Policy.outline_cold_fraction;
+    outline_min_instructions = p.Policy.outline_min_instructions;
+    outline_max_inputs = p.Policy.outline_max_inputs;
+    stage_order = p.Policy.stages }
+
+(** The policy this configuration embodies — the exact inverse of
+    {!of_policy} on the policy-owned fields. *)
+let to_policy t =
+  { Policy.budget_percent = t.budget_percent; staging = t.staging;
+    pass_limit = t.pass_limit; cold_site_penalty = t.cold_site_penalty;
+    indirect_bonus = t.indirect_bonus; outline = t.enable_outlining;
+    outline_cold_fraction = t.outline_cold_fraction;
+    outline_min_instructions = t.outline_min_instructions;
+    outline_max_inputs = t.outline_max_inputs; stages = t.stage_order }
 
 (** The four measurement scopes of Table 1: base (per-module, no
     profile), [c] = cross-module, [p] = profile, [cp] = both. *)
@@ -77,14 +112,18 @@ let staging_to_string staging =
   String.concat "," (List.map (Printf.sprintf "%g") staging)
 
 (** Parse a comma-separated staging list ("0.25,0.5,1").  The inverse
-    of {!staging_to_string}. *)
+    of {!staging_to_string}.  Rejects schedules {!Policy.check_staging}
+    rejects, so a bad [--staging] fails at the flag, not inside HLO. *)
 let staging_of_string s =
   match
     List.map
       (fun part -> float_of_string (String.trim part))
       (String.split_on_char ',' s)
   with
-  | fractions when fractions <> [] -> Ok fractions
+  | fractions when fractions <> [] -> (
+    match Policy.check_staging fractions with
+    | Ok () -> Ok fractions
+    | Error msg -> Error (Printf.sprintf "bad staging list %S: %s" s msg))
   | _ | (exception Failure _) -> Error ("bad staging list: " ^ s)
 
 (** Command-line flags (in [hloc]/[hlo_fuzz] syntax) reproducing [t]'s

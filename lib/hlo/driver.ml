@@ -114,12 +114,17 @@ let run ?(config = Config.default) ?(profile = Ucode.Profile.empty)
   (* The IPA dead-call cleanup above may already strand routines. *)
   T.with_span "hlo.prune" (fun () -> delete_unreachable st);
   validate_if_needed st ~where:"initial prune";
+  let outliner_config =
+    { Outliner.cold_fraction = config.Config.outline_cold_fraction;
+      min_instructions = config.Config.outline_min_instructions;
+      max_inputs = config.Config.outline_max_inputs }
+  in
   (* Outlining first (when enabled): shrinking hot routines by their
      cold regions both lowers the quadratic cost the budget is anchored
      on and keeps the inliner's attention on code that runs. *)
   if config.Config.enable_outlining then begin
     T.with_span "hlo.outline" @@ fun () ->
-    let n = Outliner.run_pass st in
+    let n = Outliner.run_pass ~config:outliner_config st in
     st.State.report.Report.outlined <- n;
     T.annotate "regions" (Telemetry.Event.Int n);
     validate_if_needed st ~where:"outlining";
@@ -141,20 +146,55 @@ let run ?(config = Config.default) ?(profile = Ucode.Profile.empty)
     (T.with_span "hlo.pass" ~attrs:[ ("pass", Telemetry.Event.Int !pass) ]
     @@ fun () ->
     let ops_before = Report.total_operations st.State.report in
-    let touched_clone =
-      T.with_span "hlo.clone" (fun () -> Cloner.run_pass st ~pass:!pass)
-    in
-    validate_if_needed st ~where:(Printf.sprintf "clone pass %d" !pass);
-    let touched_inline =
-      T.with_span "hlo.inline" (fun () -> Inliner.run_pass st ~pass:!pass)
-    in
-    validate_if_needed st ~where:(Printf.sprintf "inline pass %d" !pass);
-    T.with_span "hlo.prune" (fun () -> delete_unreachable ~pass:!pass st);
-    validate_if_needed st ~where:(Printf.sprintf "prune pass %d" !pass);
-    reoptimize st (touched_clone @ touched_inline);
-    validate_if_needed st ~where:(Printf.sprintf "optimize after pass %d" !pass);
-    T.with_span "hlo.prune" (fun () -> delete_unreachable ~pass:!pass st);
-    validate_if_needed st ~where:(Printf.sprintf "final prune pass %d" !pass);
+    (* The policy's stage list, interpreted in order.  [touched]
+       accumulates routines the transforming stages changed; [Clean]
+       re-optimizes them and starts afresh.  With the default
+       clone/inline/prune/clean/prune order this is instruction-for-
+       instruction the loop body the pre-policy driver hard-coded. *)
+    let touched = ref [] in
+    let prunes = ref 0 in
+    List.iter
+      (fun stage ->
+        match (stage : Policy.stage) with
+        | Policy.Clone ->
+          let t =
+            T.with_span "hlo.clone" (fun () -> Cloner.run_pass st ~pass:!pass)
+          in
+          validate_if_needed st ~where:(Printf.sprintf "clone pass %d" !pass);
+          touched := !touched @ t
+        | Policy.Inline ->
+          let t =
+            T.with_span "hlo.inline" (fun () -> Inliner.run_pass st ~pass:!pass)
+          in
+          validate_if_needed st ~where:(Printf.sprintf "inline pass %d" !pass);
+          touched := !touched @ t
+        | Policy.Prune ->
+          incr prunes;
+          T.with_span "hlo.prune" (fun () -> delete_unreachable ~pass:!pass st);
+          validate_if_needed st
+            ~where:
+              (Printf.sprintf
+                 (if !prunes = 1 then "prune pass %d" else "final prune pass %d")
+                 !pass)
+        | Policy.Clean ->
+          reoptimize st !touched;
+          validate_if_needed st
+            ~where:(Printf.sprintf "optimize after pass %d" !pass);
+          touched := []
+        | Policy.Outline ->
+          (T.with_span "hlo.outline" @@ fun () ->
+           let n = Outliner.run_pass ~config:outliner_config st in
+           st.State.report.Report.outlined <-
+             st.State.report.Report.outlined + n;
+           T.annotate "regions" (Telemetry.Event.Int n);
+           if n > 0 then
+             touched :=
+               !touched
+               @ List.map
+                   (fun (r : U.routine) -> r.U.r_name)
+                   st.State.program.U.p_routines);
+          validate_if_needed st ~where:(Printf.sprintf "outline pass %d" !pass))
+      config.Config.stage_order;
     Budget.recalibrate st.State.budget
       ~measured_cost:(Ucode.Size.program_cost st.State.program);
     T.gauge "hlo.budget.spent" st.State.budget.Budget.spent;

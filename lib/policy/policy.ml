@@ -1,0 +1,489 @@
+(** First-class HLO policies.  See the interface for the contract. *)
+
+type stage = Clean | Outline | Clone | Inline | Prune
+
+let stage_name = function
+  | Clean -> "clean"
+  | Outline -> "outline"
+  | Clone -> "clone"
+  | Inline -> "inline"
+  | Prune -> "prune"
+
+let stage_of_name = function
+  | "clean" -> Ok Clean
+  | "outline" -> Ok Outline
+  | "clone" -> Ok Clone
+  | "inline" -> Ok Inline
+  | "prune" -> Ok Prune
+  | s -> Error ("unknown stage " ^ s)
+
+type t = {
+  budget_percent : float;
+  staging : float list;
+  pass_limit : int;
+  cold_site_penalty : float;
+  indirect_bonus : float;
+  outline : bool;
+  outline_cold_fraction : float;
+  outline_min_instructions : int;
+  outline_max_inputs : int;
+  stages : stage list;
+}
+
+let default =
+  { budget_percent = 100.0; staging = [ 0.25; 0.5; 0.75; 1.0 ];
+    pass_limit = 4; cold_site_penalty = 0.25; indirect_bonus = 4.0;
+    outline = false; outline_cold_fraction = 0.05;
+    outline_min_instructions = 6; outline_max_inputs = 6;
+    stages = [ Clone; Inline; Prune; Clean; Prune ] }
+
+(* ------------------------------------------------------------------ *)
+(* Validation.                                                         *)
+
+let max_stages = 8
+
+let check_staging = function
+  | [] -> Error "staging must be nonempty"
+  | fractions ->
+    let rec go prev = function
+      | [] ->
+        if prev = 1.0 then Ok ()
+        else Error (Printf.sprintf "staging must end at 1.0 (ends at %g)" prev)
+      | f :: rest ->
+        if not (Float.is_finite f) || f < 0.0 || f > 1.0 then
+          Error (Printf.sprintf "staging fraction %g outside [0, 1]" f)
+        else if f < prev then
+          Error
+            (Printf.sprintf "staging must be nondecreasing (%g after %g)" f
+               prev)
+        else go f rest
+    in
+    go 0.0 fractions
+
+let in_range what v lo hi =
+  if Float.is_finite v && v >= lo && v <= hi then Ok ()
+  else Error (Printf.sprintf "%s %g outside [%g, %g]" what v lo hi)
+
+let int_in_range what v lo hi =
+  if v >= lo && v <= hi then Ok ()
+  else Error (Printf.sprintf "%s %d outside [%d, %d]" what v lo hi)
+
+let ( let* ) = Result.bind
+
+let validate t =
+  let* () = in_range "budget_percent" t.budget_percent 0.0 1e6 in
+  let* () = check_staging t.staging in
+  let* () = int_in_range "pass_limit" t.pass_limit 1 64 in
+  let* () = in_range "cold_site_penalty" t.cold_site_penalty 0.0 100.0 in
+  let* () = in_range "indirect_bonus" t.indirect_bonus 0.0 1e3 in
+  let* () =
+    in_range "outline_cold_fraction" t.outline_cold_fraction 0.0 1.0
+  in
+  let* () =
+    int_in_range "outline_min_instructions" t.outline_min_instructions 1 1000
+  in
+  let* () = int_in_range "outline_max_inputs" t.outline_max_inputs 0 64 in
+  if t.stages = [] then Error "stages must be nonempty"
+  else if List.length t.stages > max_stages then
+    Error (Printf.sprintf "more than %d stages" max_stages)
+  else if
+    not (List.exists (fun s -> s = Clone || s = Inline) t.stages)
+  then Error "stages must include clone or inline"
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Canonical text codec.                                               *)
+
+(* Shortest decimal that parses back to the same float; fall back to
+   the exact hex form for the rare value %.12g cannot carry. *)
+let float_str f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%h" f
+
+let to_string t =
+  String.concat ""
+    [ Printf.sprintf "budget_percent %s\n" (float_str t.budget_percent);
+      Printf.sprintf "staging %s\n"
+        (String.concat "," (List.map float_str t.staging));
+      Printf.sprintf "pass_limit %d\n" t.pass_limit;
+      Printf.sprintf "cold_site_penalty %s\n" (float_str t.cold_site_penalty);
+      Printf.sprintf "indirect_bonus %s\n" (float_str t.indirect_bonus);
+      Printf.sprintf "outline %b\n" t.outline;
+      Printf.sprintf "outline_cold_fraction %s\n"
+        (float_str t.outline_cold_fraction);
+      Printf.sprintf "outline_min_instructions %d\n" t.outline_min_instructions;
+      Printf.sprintf "outline_max_inputs %d\n" t.outline_max_inputs;
+      Printf.sprintf "stages %s\n"
+        (String.concat "," (List.map stage_name t.stages)) ]
+
+let hash t = Digest.to_hex (Digest.string (to_string t))
+
+let equal a b = to_string a = to_string b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Strict line decoder: every key exactly once, no strangers. *)
+
+let parse_float what s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "bad %s: %S" what s)
+
+let parse_int what s =
+  match int_of_string_opt (String.trim s) with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad %s: %S" what s)
+
+let parse_bool what s =
+  match String.trim s with
+  | "true" -> Ok true
+  | "false" -> Ok false
+  | other -> Error (Printf.sprintf "bad %s: %S" what other)
+
+let parse_list what parse_one s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest ->
+      let* v = parse_one (String.trim part) in
+      go (v :: acc) rest
+  in
+  match String.split_on_char ',' s with
+  | [ "" ] -> Error ("empty " ^ what)
+  | parts -> go [] parts
+
+let of_string text =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' text)
+  in
+  let* fields =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+        match String.index_opt line ' ' with
+        | None -> Error (Printf.sprintf "malformed policy line %S" line)
+        | Some i ->
+          let key = String.sub line 0 i in
+          let value =
+            String.sub line (i + 1) (String.length line - i - 1)
+          in
+          if List.mem_assoc key acc then
+            Error (Printf.sprintf "duplicate policy key %S" key)
+          else go ((key, value) :: acc) rest)
+    in
+    go [] lines
+  in
+  let field key =
+    match List.assoc_opt key fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing policy key %S" key)
+  in
+  let* () =
+    let known =
+      [ "budget_percent"; "staging"; "pass_limit"; "cold_site_penalty";
+        "indirect_bonus"; "outline"; "outline_cold_fraction";
+        "outline_min_instructions"; "outline_max_inputs"; "stages" ]
+    in
+    List.fold_left
+      (fun acc (key, _) ->
+        let* () = acc in
+        if List.mem key known then Ok ()
+        else Error (Printf.sprintf "unknown policy key %S" key))
+      (Ok ()) fields
+  in
+  let* budget_percent =
+    Result.bind (field "budget_percent") (parse_float "budget_percent")
+  in
+  let* staging =
+    Result.bind (field "staging")
+      (parse_list "staging" (parse_float "staging fraction"))
+  in
+  let* pass_limit = Result.bind (field "pass_limit") (parse_int "pass_limit") in
+  let* cold_site_penalty =
+    Result.bind (field "cold_site_penalty") (parse_float "cold_site_penalty")
+  in
+  let* indirect_bonus =
+    Result.bind (field "indirect_bonus") (parse_float "indirect_bonus")
+  in
+  let* outline = Result.bind (field "outline") (parse_bool "outline") in
+  let* outline_cold_fraction =
+    Result.bind
+      (field "outline_cold_fraction")
+      (parse_float "outline_cold_fraction")
+  in
+  let* outline_min_instructions =
+    Result.bind
+      (field "outline_min_instructions")
+      (parse_int "outline_min_instructions")
+  in
+  let* outline_max_inputs =
+    Result.bind (field "outline_max_inputs") (parse_int "outline_max_inputs")
+  in
+  let* stages =
+    Result.bind (field "stages") (parse_list "stages" stage_of_name)
+  in
+  let t =
+    { budget_percent; staging; pass_limit; cold_site_penalty; indirect_bonus;
+      outline; outline_cold_fraction; outline_min_instructions;
+      outline_max_inputs; stages }
+  in
+  let* () = validate t in
+  Ok t
+
+(* ------------------------------------------------------------------ *)
+(* Persistence.                                                        *)
+
+let store_magic = "hlo-policy"
+let store_version = 1
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~path =
+  match Store.load ~path ~magic:store_magic ~version:store_version with
+  | Ok None -> Ok None
+  | Error e -> (
+    (* Not a policy container.  Accept the bare canonical text too, so
+       a file written by hand or saved from `hloc --dump-policy` loads
+       directly; the text must fully parse and validate. *)
+    match of_string (read_file path) with
+    | Ok t -> Ok (Some t)
+    | Error _ | (exception Sys_error _) -> Error e)
+  | Ok (Some payload) -> (
+    match of_string payload with
+    | Ok t -> Ok (Some t)
+    | Error msg -> Error (Printf.sprintf "%s: bad policy payload: %s" path msg))
+
+let save ~path t = Store.save ~path ~magic:store_magic ~version:store_version (to_string t)
+
+(* ------------------------------------------------------------------ *)
+
+module Pareto = struct
+  (** Pareto dominance over (cycles, size, cost).  See the interface. *)
+
+  type point = {
+    cycles : float;
+    size : float;
+    cost : float;
+  }
+
+  let dominates a b =
+    a.cycles <= b.cycles && a.size <= b.size && a.cost <= b.cost
+    && (a.cycles < b.cycles || a.size < b.size || a.cost < b.cost)
+
+  let front candidates =
+    let keep (i, (_, p)) =
+      not
+        (List.exists
+           (fun (j, (_, q)) ->
+             (* Strict dominance kills; an exact duplicate keeps only its
+                first occurrence. *)
+             dominates q p || (j < i && q = p))
+           (List.mapi (fun j c -> (j, c)) candidates))
+    in
+    List.filteri (fun i c -> keep (i, c)) candidates
+end
+
+module Space = struct
+  (** The typed search space.  See the interface for the contract. *)
+
+  type param = {
+    pm_name : string;
+    pm_range : string;
+    pm_kind : string;
+  }
+
+  let params =
+    [ { pm_name = "budget_percent"; pm_range = "10 .. 1000 (log-uniform)";
+        pm_kind = "float" };
+      { pm_name = "staging"; pm_range = "1 .. 5 nondecreasing cuts ending at 1";
+        pm_kind = "float list" };
+      { pm_name = "pass_limit"; pm_range = "1 .. 8"; pm_kind = "int" };
+      { pm_name = "cold_site_penalty"; pm_range = "0 .. 1"; pm_kind = "float" };
+      { pm_name = "indirect_bonus"; pm_range = "0.25 .. 16"; pm_kind = "float" };
+      { pm_name = "outline"; pm_range = "on / off"; pm_kind = "bool" };
+      { pm_name = "outline_cold_fraction"; pm_range = "0.01 .. 0.5";
+        pm_kind = "float" };
+      { pm_name = "outline_min_instructions"; pm_range = "2 .. 16";
+        pm_kind = "int" };
+      { pm_name = "outline_max_inputs"; pm_range = "1 .. 10"; pm_kind = "int" };
+      { pm_name = "stages";
+        pm_range =
+          "1 .. 8 of clean/outline/clone/inline/prune, with clone or inline";
+        pm_kind = "schedule" } ]
+
+  (* Round to [d] decimals so policies print short and mutate onto a
+     lattice (two searches landing on the same point really are the
+     same point, codec-wise). *)
+  let round_dp d f =
+    let scale = 10.0 ** float_of_int d in
+    Float.round (f *. scale) /. scale
+
+  let clamp lo hi v = Float.min hi (Float.max lo v)
+  let clampi lo hi v = min hi (max lo v)
+
+  let uniform st lo hi = lo +. (Random.State.float st (hi -. lo))
+
+  let log_uniform st lo hi = exp (uniform st (log lo) (log hi))
+
+  let choose st l = List.nth l (Random.State.int st (List.length l))
+
+  (* ------------------------------------------------------------------ *)
+  (* Staging schedules.                                                  *)
+
+  let sample_staging st =
+    let n = 1 + Random.State.int st 5 in
+    let cuts =
+      List.init (n - 1) (fun _ -> round_dp 2 (uniform st 0.05 0.95))
+    in
+    List.sort_uniq compare cuts @ [ 1.0 ]
+
+  (* Nudge, add or drop one cut; the sort + trailing 1.0 keep the
+     schedule canonical. *)
+  let mutate_staging st staging =
+    let cuts = List.filter (fun f -> f <> 1.0) staging in
+    let action =
+      if cuts = [] then `Add
+      else if List.length cuts >= 4 then choose st [ `Nudge; `Drop ]
+      else choose st [ `Nudge; `Add; `Drop ]
+    in
+    let cuts =
+      match action with
+      | `Add -> round_dp 2 (uniform st 0.05 0.95) :: cuts
+      | `Drop ->
+        let victim = Random.State.int st (List.length cuts) in
+        List.filteri (fun i _ -> i <> victim) cuts
+      | `Nudge ->
+        let victim = Random.State.int st (List.length cuts) in
+        List.mapi
+          (fun i f ->
+            if i = victim then
+              round_dp 2 (clamp 0.01 0.99 (f +. uniform st (-0.15) 0.15))
+            else f)
+          cuts
+    in
+    List.sort_uniq compare cuts @ [ 1.0 ]
+
+  (* ------------------------------------------------------------------ *)
+  (* Stage schedules.                                                    *)
+
+  let all_stages =
+    [ Clean; Outline; Clone; Inline; Prune ]
+
+  let schedule_ok stages =
+    stages <> []
+    && List.length stages <= max_stages
+    && List.exists (fun s -> s = Clone || s = Inline) stages
+
+  let sample_schedule st =
+    let transforms =
+      choose st
+        [ [ Clone; Inline ]; [ Inline; Clone ];
+          [ Clone ]; [ Inline ] ]
+    in
+    let head = if Random.State.bool st then [ Outline ] else [] in
+    let tail =
+      choose st
+        [ [ Prune; Clean; Prune ];
+          [ Prune; Clean ]; [ Clean; Prune ];
+          [ Prune ] ]
+    in
+    head @ transforms @ tail
+
+  let rec mutate_schedule st stages =
+    let n = List.length stages in
+    let candidate =
+      match choose st [ `Swap; `Insert; `Drop ] with
+      | `Swap when n >= 2 ->
+        let i = Random.State.int st (n - 1) in
+        List.mapi
+          (fun j s ->
+            if j = i then List.nth stages (i + 1)
+            else if j = i + 1 then List.nth stages i
+            else s)
+          stages
+      | `Insert when n < max_stages ->
+        let s = choose st all_stages in
+        let at = Random.State.int st (n + 1) in
+        List.concat
+          [ List.filteri (fun i _ -> i < at) stages; [ s ];
+            List.filteri (fun i _ -> i >= at) stages ]
+      | `Drop when n >= 2 ->
+        let victim = Random.State.int st n in
+        List.filteri (fun i _ -> i <> victim) stages
+      | _ -> sample_schedule st
+    in
+    if schedule_ok candidate && candidate <> stages then candidate
+    else mutate_schedule st stages
+
+  (* ------------------------------------------------------------------ *)
+
+  let sample st : t =
+    let p =
+      { budget_percent = round_dp 1 (log_uniform st 10.0 1000.0);
+        staging = sample_staging st;
+        pass_limit = 1 + Random.State.int st 8;
+        cold_site_penalty = round_dp 2 (uniform st 0.0 1.0);
+        indirect_bonus = round_dp 2 (log_uniform st 0.25 16.0);
+        outline = Random.State.bool st;
+        outline_cold_fraction = round_dp 2 (uniform st 0.01 0.5);
+        outline_min_instructions = 2 + Random.State.int st 15;
+        outline_max_inputs = 1 + Random.State.int st 10;
+        stages = sample_schedule st }
+    in
+    match validate p with
+    | Ok () -> p
+    | Error msg -> invalid_arg ("Space.sample produced an invalid policy: " ^ msg)
+
+  let mutate st (p : t) : t =
+    let p' =
+      match Random.State.int st 10 with
+      | 0 ->
+        { p with
+          budget_percent =
+            round_dp 1
+              (clamp 10.0 1000.0
+                 (p.budget_percent *. choose st [ 0.5; 0.75; 1.5; 2.0 ])) }
+      | 1 -> { p with staging = mutate_staging st p.staging }
+      | 2 ->
+        { p with
+          pass_limit =
+            clampi 1 8 (p.pass_limit + choose st [ -1; 1 ]) }
+      | 3 ->
+        { p with
+          cold_site_penalty =
+            round_dp 2
+              (clamp 0.0 1.0
+                 (p.cold_site_penalty +. uniform st (-0.15) 0.15)) }
+      | 4 ->
+        { p with
+          indirect_bonus =
+            round_dp 2
+              (clamp 0.25 16.0 (p.indirect_bonus *. choose st [ 0.5; 2.0 ])) }
+      | 5 -> { p with outline = not p.outline }
+      | 6 ->
+        { p with
+          outline_cold_fraction =
+            round_dp 2
+              (clamp 0.01 0.5
+                 (p.outline_cold_fraction +. uniform st (-0.05) 0.05)) }
+      | 7 ->
+        { p with
+          outline_min_instructions =
+            clampi 2 16 (p.outline_min_instructions + choose st [ -2; 2 ]);
+          outline_max_inputs =
+            clampi 1 10 (p.outline_max_inputs + choose st [ -2; 2 ]) }
+      | 8 -> { p with stages = mutate_schedule st p.stages }
+      | _ ->
+        (* Occasional fresh restart keeps local search from stalling on
+           a plateau. *)
+        sample st
+    in
+    match validate p' with
+    | Ok () -> p'
+    | Error msg -> invalid_arg ("Space.mutate produced an invalid policy: " ^ msg)
+end

@@ -1,28 +1,50 @@
 (** Content-addressed artifact store.  See the interface for the
     contract.  The disk payload is the JSON encoding of the response
     pieces inside the shared {!Store} container — human-inspectable
-    with [tail -c +N], checksummed, versioned, and fail-safe to load. *)
+    with [tail -c +N], checksummed, versioned, and fail-safe to load.
+
+    Both tiers are bounded when a capacity is configured.  The memory
+    tier is an LRU over a logical access clock; the disk tier evicts
+    the artifact with the oldest modification time, and a disk hit
+    refreshes its file's timestamp, so the two tiers age together. *)
 
 module J = Telemetry.Json
 
+type entry = {
+  mutable last_used : int;  (** logical access clock, not wall time *)
+  outputs : (string * string) list;
+}
+
 type t = {
   dir : string option;
+  cap : int option;
   lock : Mutex.t;
-  table : (string, (string * string) list) Hashtbl.t;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;
   mutable mem_hits : int;
   mutable disk_hits : int;
   mutable misses : int;
   mutable insertions : int;
+  mutable evictions : int;
+  mutable disk_evictions : int;
   mutable disk_errors : int;
 }
 
-let create ?dir () =
-  { dir; lock = Mutex.create (); table = Hashtbl.create 64; mem_hits = 0;
-    disk_hits = 0; misses = 0; insertions = 0; disk_errors = 0 }
+let create ?dir ?cap () =
+  (match cap with
+  | Some n when n < 1 -> invalid_arg "Artifacts.create: cap must be positive"
+  | _ -> ());
+  { dir; cap; lock = Mutex.create (); table = Hashtbl.create 64; clock = 0;
+    mem_hits = 0; disk_hits = 0; misses = 0; insertions = 0; evictions = 0;
+    disk_evictions = 0; disk_errors = 0 }
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
 
 let key ~modules ~options_canon =
   let buf = Buffer.create 256 in
@@ -80,15 +102,50 @@ let disk_find t k =
   match t.dir with
   | None -> None
   | Some dir -> (
-    match
-      Store.load ~path:(artifact_path dir k) ~magic:disk_magic
-        ~version:disk_version
-    with
+    let path = artifact_path dir k in
+    match Store.load ~path ~magic:disk_magic ~version:disk_version with
     | Ok None -> None
-    | Ok (Some payload) -> outputs_of_payload payload
+    | Ok (Some payload) -> (
+      match outputs_of_payload payload with
+      | None -> None
+      | Some outputs ->
+        (* Refresh the mtime so LRU disk eviction sees the hit. *)
+        (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+        Some outputs)
     | Error _ ->
       t.disk_errors <- t.disk_errors + 1;
       None)
+
+(* Evict oldest-mtime artifacts until at most [cap] remain.  Runs after
+   each write; the directory holds at most [cap] files plus whatever a
+   concurrent daemon wrote, so the scan stays small. *)
+let disk_evict t dir cap =
+  let files =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> [||]
+    | names ->
+      Array.of_seq
+        (Seq.filter_map
+           (fun name ->
+             if Filename.check_suffix name ".hart" then
+               let path = Filename.concat dir name in
+               match Unix.stat path with
+               | st -> Some (st.Unix.st_mtime, path)
+               | exception Unix.Unix_error _ -> None
+             else None)
+           (Array.to_seq names))
+  in
+  if Array.length files > cap then begin
+    Array.sort compare files;
+    Array.iteri
+      (fun i (_, path) ->
+        if i < Array.length files - cap then (
+          try
+            Sys.remove path;
+            t.disk_evictions <- t.disk_evictions + 1
+          with Sys_error _ -> t.disk_errors <- t.disk_errors + 1))
+      files
+  end
 
 let disk_add t k outputs =
   match t.dir with
@@ -100,8 +157,32 @@ let disk_add t k outputs =
          ~version:disk_version
          (outputs_to_payload outputs)
      with
-    | Ok () -> ()
+    | Ok () -> Option.iter (fun cap -> disk_evict t dir cap) t.cap
     | Error _ -> t.disk_errors <- t.disk_errors + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Memory layer LRU.                                                   *)
+
+let mem_evict t cap =
+  while Hashtbl.length t.table > cap do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, best) when best <= e.last_used -> acc
+          | _ -> Some (k, e.last_used))
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
+  done
+
+let mem_insert t k outputs =
+  Hashtbl.replace t.table k { last_used = tick t; outputs };
+  Option.iter (fun cap -> mem_evict t cap) t.cap
 
 (* ------------------------------------------------------------------ *)
 
@@ -110,14 +191,15 @@ type hit_kind = Memory | Disk
 let find t k =
   locked t @@ fun () ->
   match Hashtbl.find_opt t.table k with
-  | Some outputs ->
+  | Some e ->
+    e.last_used <- tick t;
     t.mem_hits <- t.mem_hits + 1;
-    Some (outputs, Memory)
+    Some (e.outputs, Memory)
   | None -> (
     match disk_find t k with
     | Some outputs ->
       t.disk_hits <- t.disk_hits + 1;
-      Hashtbl.replace t.table k outputs;
+      mem_insert t k outputs;
       Some (outputs, Disk)
     | None ->
       t.misses <- t.misses + 1;
@@ -126,7 +208,7 @@ let find t k =
 let add t k outputs =
   locked t @@ fun () ->
   if not (Hashtbl.mem t.table k) then begin
-    Hashtbl.replace t.table k outputs;
+    mem_insert t k outputs;
     t.insertions <- t.insertions + 1;
     disk_add t k outputs
   end
@@ -137,6 +219,8 @@ type snapshot = {
   sn_disk_hits : int;
   sn_misses : int;
   sn_insertions : int;
+  sn_evictions : int;
+  sn_disk_evictions : int;
   sn_disk_errors : int;
 }
 
@@ -144,4 +228,5 @@ let snapshot t =
   locked t @@ fun () ->
   { sn_entries = Hashtbl.length t.table; sn_mem_hits = t.mem_hits;
     sn_disk_hits = t.disk_hits; sn_misses = t.misses;
-    sn_insertions = t.insertions; sn_disk_errors = t.disk_errors }
+    sn_insertions = t.insertions; sn_evictions = t.evictions;
+    sn_disk_evictions = t.disk_evictions; sn_disk_errors = t.disk_errors }

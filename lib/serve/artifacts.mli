@@ -10,12 +10,21 @@
     directory is configured, on disk in the shared {!Store} container
     (magic ["hlod-artifact"]), so a restarted daemon keeps its cache.
     Disk loading is fail-safe: a corrupt artifact is treated as a
-    miss and recompiled, never trusted. *)
+    miss and recompiled, never trusted.
+
+    With a capacity configured, both tiers are bounded at [cap]
+    entries.  The memory tier evicts least-recently-used (lookups and
+    insertions both count as use); the disk tier evicts the artifact
+    file with the oldest modification time, and disk hits refresh the
+    timestamp, so a long-lived daemon's cache directory cannot grow
+    without bound. *)
 
 type t
 
-(** [create ~dir ()] — [dir] is created on first write if missing. *)
-val create : ?dir:string -> unit -> t
+(** [create ~dir ~cap ()] — [dir] is created on first write if
+    missing; [cap] (when given, must be positive) bounds each tier.
+    No [cap] means unbounded, the pre-eviction behavior. *)
+val create : ?dir:string -> ?cap:int -> unit -> t
 
 (** The content address: module source hashes + the canonical option
     string.  Stable across processes and runs. *)
@@ -37,6 +46,8 @@ type snapshot = {
   sn_disk_hits : int;
   sn_misses : int;
   sn_insertions : int;
+  sn_evictions : int;  (** memory-tier LRU evictions *)
+  sn_disk_evictions : int;  (** artifact files removed to honor [cap] *)
   sn_disk_errors : int;  (** unreadable/unwritable artifacts, tolerated *)
 }
 

@@ -47,6 +47,10 @@ type compile_options = {
   co_inline : bool;
   co_clone : bool;
   co_max_ops : int option;
+  co_policy : string option;
+      (** canonical policy text ({!Policy.to_string}); overlays the
+          tuned knobs on top of the flag-derived configuration, exactly
+          as `hloc --policy` does in-process *)
   co_main : string;
   co_runner : string;  (** "none" | "interp" | "sim" *)
   co_stats : bool;

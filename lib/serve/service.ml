@@ -19,13 +19,15 @@ type config = {
   request_budget : float;
   queue_limit : int;
   artifact_dir : string option;
+  artifact_cap : int option;
   summary_cache : string option;
   max_frame : int;
 }
 
 let default_config =
   { jobs = 1; server_budget = 4.0e9; request_budget = 1.0e9;
-    queue_limit = 256; artifact_dir = None; summary_cache = None;
+    queue_limit = 256; artifact_dir = None; artifact_cap = None;
+    summary_cache = None;
     max_frame = P.default_max_frame }
 
 (* What a finished leader leaves for coalesced waiters: the output
@@ -54,7 +56,8 @@ let create cfg =
   (match cfg.summary_cache with
   | None -> ()
   | Some path -> ignore (Hlo.Summary_cache.load path : (int, string) result));
-  { cfg; artifacts = Artifacts.create ?dir:cfg.artifact_dir ();
+  { cfg;
+    artifacts = Artifacts.create ?dir:cfg.artifact_dir ?cap:cfg.artifact_cap ();
     admission =
       Admission.create ~server_budget:cfg.server_budget
         ~request_budget:cfg.request_budget ~queue_limit:cfg.queue_limit;
@@ -87,14 +90,24 @@ let hlo_config_of (o : P.compile_options) =
 
 (* Everything that changes the computed output *superset* — and nothing
    that only changes which pieces a client asks to see (stats,
-   dump_ir, dump_journal are selection, not computation). *)
+   dump_ir, dump_journal are selection, not computation).  The policy
+   enters as its canonical hash, so a tuned compile and a default one
+   of the same sources can never alias in the artifact store. *)
 let options_canon (o : P.compile_options) =
+  let policy =
+    match o.P.co_policy with
+    | None -> "-"
+    | Some text -> (
+      match Policy.of_string text with
+      | Ok p -> Policy.hash p
+      | Error _ -> "bad:" ^ Digest.to_hex (Digest.string text))
+  in
   Printf.sprintf
     "scope=%s;budget=%h;passes=%d;inline=%b;clone=%b;max_ops=%s;main=%s;\
-     runner=%s;profile=%b;asm=%b"
+     runner=%s;profile=%b;asm=%b;policy=%s"
     o.P.co_scope o.P.co_budget o.P.co_passes o.P.co_inline o.P.co_clone
     (match o.P.co_max_ops with None -> "-" | Some n -> string_of_int n)
-    o.P.co_main o.P.co_runner o.P.co_dump_profile o.P.co_dump_asm
+    o.P.co_main o.P.co_runner o.P.co_dump_profile o.P.co_dump_asm policy
 
 (* The pieces of the superset a given client printout wants, in
    `hloc`'s print order.  [diag] always rides along (it goes to
@@ -138,6 +151,16 @@ let run_pipeline (modules : (string * string) list) (o : P.compile_options) :
     raise (Compile_failed { kind; reason; outputs = List.rev !produced })
   in
   try
+    (* A malformed policy is the client's mistake; reject it before
+       spending any compile work. *)
+    let policy =
+      match o.P.co_policy with
+      | None -> None
+      | Some text -> (
+        match Policy.of_string text with
+        | Ok p -> Some p
+        | Error msg -> fail "bad_request" ("bad policy: " ^ msg))
+    in
     let sources =
       List.map
         (fun (name, text) -> Minic.Compile.source ~module_name:name text)
@@ -148,7 +171,12 @@ let run_pipeline (modules : (string * string) list) (o : P.compile_options) :
           Minic.Compile.compile_program ~main:o.P.co_main sources)
     in
     emit "diag" (Render.diag diags);
-    let config = hlo_config_of o in
+    let config =
+      let base = hlo_config_of o in
+      match policy with
+      | None -> base
+      | Some p -> Hlo.Config.of_policy ~base p
+    in
     let profile =
       if config.Hlo.Config.use_profile then begin
         let r = Interp.train program in
@@ -376,6 +404,8 @@ let stats_json t : J.t =
             ("disk_hits", J.Int art.Artifacts.sn_disk_hits);
             ("misses", J.Int art.Artifacts.sn_misses);
             ("insertions", J.Int art.Artifacts.sn_insertions);
+            ("evictions", J.Int art.Artifacts.sn_evictions);
+            ("disk_evictions", J.Int art.Artifacts.sn_disk_evictions);
             ("disk_errors", J.Int art.Artifacts.sn_disk_errors) ] );
       ( "summary_cache",
         J.Assoc

@@ -29,6 +29,9 @@ type config = {
   request_budget : float;  (** max Σ size² estimate of one request *)
   queue_limit : int;  (** admission queue bound *)
   artifact_dir : string option;  (** persist artifacts when set *)
+  artifact_cap : int option;
+      (** bound both artifact tiers to this many entries (LRU);
+          [None] = unbounded *)
   summary_cache : string option;  (** warm/persist the summary cache *)
   max_frame : int;  (** wire-frame payload cap, bytes *)
 }

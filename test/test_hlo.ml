@@ -63,8 +63,36 @@ let test_budget_math () =
 let test_budget_empty_staging_rejected () =
   let config = { Hlo.Config.default with Hlo.Config.staging = [] } in
   Alcotest.check_raises "empty staging"
-    (Invalid_argument "Budget.create: empty staging") (fun () ->
+    (Invalid_argument "Budget.create: staging must be nonempty") (fun () ->
       ignore (Hlo.Budget.create config ~initial_cost:10.0))
+
+(* Every way a staging schedule can be malformed is rejected at
+   construction, with the error naming the offending value. *)
+let test_budget_bad_staging_rejected () =
+  let rejects what staging =
+    let config = { Hlo.Config.default with Hlo.Config.staging = staging } in
+    match Hlo.Budget.create config ~initial_cost:10.0 with
+    | _ -> Alcotest.failf "%s: accepted" what
+    | exception Invalid_argument msg ->
+      check_bool (what ^ ": message is prefixed") true
+        (String.length msg > String.length "Budget.create: "
+        && String.sub msg 0 15 = "Budget.create: ")
+  in
+  rejects "decreasing" [ 0.5; 0.25; 1.0 ];
+  rejects "not ending at 1.0" [ 0.25; 0.5 ];
+  rejects "above 1.0" [ 0.5; 1.5; 1.0 ];
+  rejects "negative" [ -0.25; 1.0 ];
+  rejects "nan" [ Float.nan; 1.0 ];
+  (* and the same schedules fail at the flag parser *)
+  List.iter
+    (fun s ->
+      match Hlo.Config.staging_of_string s with
+      | Ok _ -> Alcotest.failf "staging_of_string accepted %S" s
+      | Error _ -> ())
+    [ "0.5,0.25,1"; "0.25,0.5"; "nope"; "" ];
+  match Hlo.Config.staging_of_string "0.25, 0.5 ,1" with
+  | Ok [ 0.25; 0.5; 1.0 ] -> ()
+  | _ -> Alcotest.fail "staging_of_string rejected a good schedule"
 
 (* ------------------------------------------------------------------ *)
 (* Summaries.                                                          *)
@@ -750,7 +778,9 @@ let () =
     [ ( "budget",
         [ Alcotest.test_case "math" `Quick test_budget_math;
           Alcotest.test_case "empty staging" `Quick
-            test_budget_empty_staging_rejected ] );
+            test_budget_empty_staging_rejected;
+          Alcotest.test_case "bad staging" `Quick
+            test_budget_bad_staging_rejected ] );
       ( "summaries",
         [ Alcotest.test_case "param usage" `Quick test_param_usage_weights;
           Alcotest.test_case "edge contexts" `Quick test_edge_contexts;

@@ -303,6 +303,49 @@ let test_artifacts_disk_and_corruption () =
   let sn = Art.snapshot t3 in
   check_bool "corruption is counted" true (sn.Art.sn_disk_errors >= 1)
 
+let test_artifacts_memory_lru () =
+  let t = Art.create ~cap:2 () in
+  let key canon = Art.key ~modules:sample_modules ~options_canon:canon in
+  let k1 = key "one" and k2 = key "two" and k3 = key "three" in
+  Art.add t k1 [ ("ir", "1") ];
+  Art.add t k2 [ ("ir", "2") ];
+  (* Touch k1 so k2 becomes the least recently used... *)
+  check_bool "k1 resident" true (Art.find t k1 <> None);
+  Art.add t k3 [ ("ir", "3") ];
+  (* ...and the third insertion evicts exactly it. *)
+  check_bool "k2 evicted" true (Art.find t k2 = None);
+  check_bool "k1 survives" true (Art.find t k1 <> None);
+  check_bool "k3 survives" true (Art.find t k3 <> None);
+  let sn = Art.snapshot t in
+  check_int "resident entries" 2 sn.Art.sn_entries;
+  check_int "one eviction" 1 sn.Art.sn_evictions;
+  check_bool "cap must be positive" true
+    (match Art.create ~cap:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_artifacts_disk_eviction () =
+  let dir = temp_dir "hlod-art-cap" in
+  let t = Art.create ~dir ~cap:2 () in
+  let key canon = Art.key ~modules:sample_modules ~options_canon:canon in
+  let k1 = key "one" and k2 = key "two" and k3 = key "three" in
+  let path k = Filename.concat dir (k ^ ".hart") in
+  Art.add t k1 [ ("ir", "1") ];
+  Art.add t k2 [ ("ir", "2") ];
+  (* Age k1 far below k2, then overflow the tier. *)
+  Unix.utimes (path k1) 1000.0 1000.0;
+  Art.add t k3 [ ("ir", "3") ];
+  check_bool "oldest artifact file evicted" false (Sys.file_exists (path k1));
+  check_bool "newer artifact kept" true (Sys.file_exists (path k2));
+  check_bool "just-written artifact kept" true (Sys.file_exists (path k3));
+  check_int "disk eviction counted" 1 (Art.snapshot t).Art.sn_disk_evictions;
+  (* A disk hit refreshes the file's timestamp so the LRU sees it. *)
+  Unix.utimes (path k2) 1000.0 1000.0;
+  let t2 = Art.create ~dir ~cap:2 () in
+  check_bool "disk hit" true (Art.find t2 k2 <> None);
+  check_bool "hit refreshed the mtime" true
+    ((Unix.stat (path k2)).Unix.st_mtime > 1000.0)
+
 (* ------------------------------------------------------------------ *)
 (* The compile service.                                                *)
 
@@ -310,7 +353,8 @@ module S = Serve.Service
 
 let service_config ?artifact_dir ?(max_frame = P.default_max_frame) () =
   { S.jobs = 1; server_budget = 1.0e9; request_budget = 1.0e9;
-    queue_limit = 16; artifact_dir; summary_cache = None; max_frame }
+    queue_limit = 16; artifact_dir; artifact_cap = None; summary_cache = None;
+    max_frame }
 
 let compile_req ?(modules = sample_modules) options =
   P.Compile { modules; options }
@@ -437,6 +481,38 @@ let test_service_cache_and_selection () =
   let c4 = expect_compiled (S.handle svc (compile_req other)) in
   check_bool "scope changes the key" true (c4.key <> c1.key);
   check_string "and misses" "miss" c4.cache
+
+(* A policy rides the request and lands in the cache key: tuned and
+   default compiles of the same sources never alias, equal policies
+   coalesce, and garbage is rejected before any compile work. *)
+let test_service_policy () =
+  let svc = S.create (service_config ()) in
+  let default = expect_compiled (S.handle svc (compile_req full_options)) in
+  let tuned_policy =
+    Policy.to_string
+      { Policy.default with Policy.budget_percent = 15.0; pass_limit = 1 }
+  in
+  let tuned = { full_options with P.co_policy = Some tuned_policy } in
+  let c1 = expect_compiled (S.handle svc (compile_req tuned)) in
+  check_bool "policy changes the key" true (c1.key <> default.key);
+  check_string "tuned compile is a miss" "miss" c1.cache;
+  let c2 = expect_compiled (S.handle svc (compile_req tuned)) in
+  check_string "same policy hits" "hit" c2.cache;
+  check_bool "identical bytes" true (c1.outputs = c2.outputs);
+  (* The policy really is applied: with the paper-default knobs sent
+     explicitly as a policy, the output matches the no-policy bytes. *)
+  let explicit_default =
+    { full_options with P.co_policy = Some (Policy.to_string Policy.default) }
+  in
+  let c3 = expect_compiled (S.handle svc (compile_req explicit_default)) in
+  check_bool "explicit default = implicit default bytes" true
+    (c3.outputs = default.outputs);
+  match
+    S.handle svc
+      (compile_req { full_options with P.co_policy = Some "nonsense" })
+  with
+  | P.Failed { kind; _ } -> check_string "bad policy kind" "bad_request" kind
+  | _ -> Alcotest.fail "expected Failed on a bad policy"
 
 let test_service_failure_parity () =
   let svc = S.create (service_config ()) in
@@ -778,6 +854,10 @@ let () =
            test_admission_cost_model ]);
       ("artifacts",
        [ Alcotest.test_case "memory store" `Quick test_artifacts_memory;
+         Alcotest.test_case "memory LRU eviction" `Quick
+           test_artifacts_memory_lru;
+         Alcotest.test_case "disk eviction" `Quick
+           test_artifacts_disk_eviction;
          Alcotest.test_case "disk store and corruption" `Quick
            test_artifacts_disk_and_corruption ]);
       ("service",
@@ -785,6 +865,8 @@ let () =
            test_service_matches_inline;
          Alcotest.test_case "cache and piece selection" `Quick
            test_service_cache_and_selection;
+         Alcotest.test_case "policy in the cache key" `Quick
+           test_service_policy;
          Alcotest.test_case "failure parity" `Quick
            test_service_failure_parity;
          Alcotest.test_case "admission reject" `Quick
