@@ -33,11 +33,15 @@ bench-serve:
 	dune exec bench/bench_serve.exe
 
 # Fixed-seed differential fuzz: corpus + random programs through the
-# semantic oracle for ~30s.  Nonzero exit on any mismatch or crash;
-# repros (bucketed, reduced) land under _build/fuzz/.
+# semantic oracle for ~30s, then a second campaign pinned to region
+# mode (every case exercises the outline-then-inline path).  Nonzero
+# exit on any mismatch or crash; repros (bucketed, reduced) land under
+# _build/fuzz/.
 fuzz-smoke:
 	dune exec bin/hlo_fuzz.exe -- --seed 1 --iters 400 --time-budget 30 \
 	  --out _build/fuzz
+	dune exec bin/hlo_fuzz.exe -- --seed 2 --iters 200 --time-budget 30 \
+	  --inline-mode region --out _build/fuzz-region
 
 # Policy tuner smoke gate: tiny fixed-seed search on two benchmarks
 # (train input), run twice; the JSON results must be bit-identical

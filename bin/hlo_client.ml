@@ -42,9 +42,9 @@ let print_outputs outputs =
   flush stdout;
   flush stderr
 
-let compile files scope budget passes no_inline no_clone max_ops policy
-    dump_ir dump_asm dump_profile dump_journal stats runner main socket
-    verbose =
+let compile files scope budget passes no_inline no_clone max_ops
+    inline_mode policy dump_ir dump_asm dump_profile dump_journal stats
+    runner main socket verbose =
   let modules =
     List.map (fun path -> (module_name_of_path path, read_file path)) files
   in
@@ -62,7 +62,9 @@ let compile files scope budget passes no_inline no_clone max_ops policy
   let options =
     { P.co_scope = scope; co_budget = budget; co_passes = passes;
       co_inline = not no_inline; co_clone = not no_clone;
-      co_max_ops = max_ops; co_policy; co_main = main; co_runner = runner;
+      co_max_ops = max_ops; co_policy;
+      co_inline_mode = Policy.inline_mode_name inline_mode;
+      co_main = main; co_runner = runner;
       co_stats = stats; co_dump_ir = dump_ir; co_dump_profile = dump_profile;
       co_dump_asm = dump_asm; co_dump_journal = dump_journal }
   in
@@ -146,6 +148,19 @@ let max_ops =
        & info [ "max-operations" ] ~docv:"N"
            ~doc:"Stop after N inline/clone operations.")
 
+let inline_mode =
+  let parse s =
+    match Policy.inline_mode_of_name s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m = Fmt.string ppf (Policy.inline_mode_name m) in
+  Arg.(value & opt (conv (parse, print)) Policy.Whole
+       & info [ "inline-mode" ] ~docv:"MODE"
+           ~doc:"Inlining mode: $(b,whole), $(b,region) or $(b,demand); \
+                 forwarded to the daemon as `hloc --inline-mode` would \
+                 apply it in-process.")
+
 let policy =
   Arg.(value & opt (some file) None
        & info [ "policy" ] ~docv:"FILE"
@@ -193,9 +208,9 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(ret
             (const compile $ files $ scope $ budget $ passes $ no_inline
-            $ no_clone $ max_ops $ policy $ dump_ir $ dump_asm $ dump_profile
-            $ dump_journal $ stats_flag $ runner $ entry_name $ socket
-            $ verbose))
+            $ no_clone $ max_ops $ inline_mode $ policy $ dump_ir $ dump_asm
+            $ dump_profile $ dump_journal $ stats_flag $ runner $ entry_name
+            $ socket $ verbose))
 
 let stats_cmd =
   let doc = "print server statistics as JSON" in

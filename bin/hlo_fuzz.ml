@@ -54,30 +54,52 @@ let gen_mutation st =
   | 3 -> Oracle.Zero
   | _ -> Oracle.Stale (QCheck.Gen.int_range 0 1_000_000 st)
 
-let gen_check st =
-  { Oracle.ck_config = Prog_gen.gen_hlo_config st;
-    ck_mutation = gen_mutation st;
-    ck_jobs = QCheck.Gen.oneofl [ 1; 1; 1; 2 ] st }
+(* [force_mode] restricts a campaign to one inline mode (--inline-mode);
+   without it the random configurations sample all three. *)
+let force check force_mode =
+  match force_mode with
+  | None -> check
+  | Some m ->
+    { check with
+      Oracle.ck_config =
+        { check.Oracle.ck_config with Hlo.Config.inline_mode = m } }
+
+let gen_check ?force_mode st =
+  force
+    { Oracle.ck_config = Prog_gen.gen_hlo_config st;
+      ck_mutation = gen_mutation st;
+      ck_jobs = QCheck.Gen.oneofl [ 1; 1; 1; 2 ] st }
+    force_mode
 
 (* Case [i] is a pure function of (seed, i): campaigns are reproducible
    and a crash report's label pins the case exactly. *)
-let case_gen ~seed ~corpus i =
+let case_gen ~seed ~corpus ?force_mode i =
   let st = Random.State.make [| 0x9e3779; seed; i |] in
   let n = List.length corpus in
   if i < n then
     let name, sources = List.nth corpus i in
     { Oracle.Fuzz.c_label = "corpus:" ^ name; c_sources = sources;
-      c_check = Oracle.default_check }
-  else if n > 0 && QCheck.Gen.int_range 0 3 st = 0 then
-    (* Corpus programs under random configs and profile mutations. *)
-    let name, sources = QCheck.Gen.oneofl corpus st in
-    { Oracle.Fuzz.c_label = Printf.sprintf "corpus:%s/seed=%d/i=%d" name seed i;
-      c_sources = sources; c_check = gen_check st }
+      c_check = force Oracle.default_check force_mode }
   else
-    { Oracle.Fuzz.c_label = Printf.sprintf "gen:seed=%d/i=%d" seed i;
-      c_sources =
-        Prog_gen.render_shape (Prog_gen.gen_shape Prog_gen.wild_opts st);
-      c_check = gen_check st }
+    match if n > 0 then QCheck.Gen.int_range 0 3 st else 1 + QCheck.Gen.int_range 0 2 st with
+    | 0 ->
+      (* Corpus programs under random configs and profile mutations. *)
+      let name, sources = QCheck.Gen.oneofl corpus st in
+      { Oracle.Fuzz.c_label =
+          Printf.sprintf "corpus:%s/seed=%d/i=%d" name seed i;
+        c_sources = sources; c_check = gen_check ?force_mode st }
+    | 1 ->
+      (* Hot/cold-skewed programs: one dominant path plus cold
+         branches, the shape region/demand splitting exists for. *)
+      { Oracle.Fuzz.c_label = Printf.sprintf "skew:seed=%d/i=%d" seed i;
+        c_sources =
+          Prog_gen.render_shape (Prog_gen.gen_skewed_shape st);
+        c_check = gen_check ?force_mode st }
+    | _ ->
+      { Oracle.Fuzz.c_label = Printf.sprintf "gen:seed=%d/i=%d" seed i;
+        c_sources =
+          Prog_gen.render_shape (Prog_gen.gen_shape Prog_gen.wild_opts st);
+        c_check = gen_check ?force_mode st }
 
 (* ------------------------------------------------------------------ *)
 (* Modes.                                                              *)
@@ -103,10 +125,13 @@ let replay_case file config mutation jobs =
       | Oracle.Fuzz.Crash { exn_class; detail } -> exn_class ^ "\n" ^ detail);
     1
 
-let campaign seed iters time_budget out corpus_dir no_reduce =
+let campaign seed iters time_budget out corpus_dir no_reduce force_mode =
   let corpus = list_corpus corpus_dir in
-  Fmt.pr "hlo_fuzz: seed=%d corpus=%d programs (%s)@." seed
-    (List.length corpus) corpus_dir;
+  Fmt.pr "hlo_fuzz: seed=%d corpus=%d programs (%s)%s@." seed
+    (List.length corpus) corpus_dir
+    (match force_mode with
+    | None -> ""
+    | Some m -> " mode=" ^ Policy.inline_mode_name m);
   let on_failure (f : Oracle.Fuzz.failure) =
     let dir = Filename.concat out f.Oracle.Fuzz.f_bucket in
     if not (Sys.file_exists dir) then begin
@@ -125,15 +150,15 @@ let campaign seed iters time_budget out corpus_dir no_reduce =
   let stats =
     Oracle.Fuzz.campaign ~interp_config ~max_runs:iters ?time_budget
       ~on_failure
-      ~gen:(case_gen ~seed ~corpus)
+      ~gen:(case_gen ~seed ~corpus ?force_mode)
       ()
   in
   Fmt.pr "%a@." Oracle.Fuzz.pp_stats stats;
   if stats.Oracle.Fuzz.st_failures > 0 then 1 else 0
 
 let main seed iters time_budget out corpus_dir chaos replay scope budget
-    passes staging no_inline no_clone outline max_ops no_reopt validate
-    mutation jobs no_reduce =
+    passes staging no_inline no_clone outline inline_mode
+    region_cold_fraction max_ops no_reopt validate mutation jobs no_reduce =
   match
     match chaos with
     | None -> Ok ()
@@ -160,10 +185,18 @@ let main seed iters time_budget out corpus_dir chaos replay scope budget
             | None -> Hlo.Config.default.Hlo.Config.staging);
           enable_inlining = not no_inline; enable_cloning = not no_clone;
           enable_outlining = outline; max_operations = max_ops;
-          optimize_between_passes = not no_reopt; validate }
+          optimize_between_passes = not no_reopt;
+          inline_mode =
+            Option.value inline_mode
+              ~default:Hlo.Config.default.Hlo.Config.inline_mode;
+          region_cold_fraction =
+            Option.value region_cold_fraction
+              ~default:Hlo.Config.default.Hlo.Config.region_cold_fraction;
+          validate }
       in
       `Ok (replay_case file config mutation jobs)
-    | None -> `Ok (campaign seed iters time_budget out corpus_dir no_reduce))
+    | None ->
+      `Ok (campaign seed iters time_budget out corpus_dir no_reduce inline_mode))
 
 (* ------------------------------------------------------------------ *)
 (* Command line.                                                       *)
@@ -252,6 +285,29 @@ let no_clone =
 let outline =
   Arg.(value & flag & info [ "outline" ] ~doc:"(replay) Enable outlining.")
 
+let inline_mode =
+  let parse s =
+    match Policy.inline_mode_of_name s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m = Fmt.string ppf (Policy.inline_mode_name m) in
+  Arg.(value
+       & opt (some (conv (parse, print))) None
+       & info [ "inline-mode" ] ~docv:"MODE"
+           ~doc:"Inlining mode: $(b,whole), $(b,region) or $(b,demand).  \
+                 In a campaign, restrict every case (corpus and \
+                 generated) to $(docv); by default random configurations \
+                 sample all three.  In replay, pin the saved case's \
+                 mode.")
+
+let region_cold_fraction =
+  Arg.(value
+       & opt (some float) None
+       & info [ "region-cold-fraction" ] ~docv:"F"
+           ~doc:"(replay) Region/demand coldness cut relative to the \
+                 hottest block.")
+
 let max_ops =
   Arg.(value & opt (some int) None
        & info [ "max-operations" ] ~docv:"N"
@@ -307,7 +363,7 @@ let cmd =
     Term.(ret
             (const main $ seed $ iters $ time_budget $ out $ corpus_dir
             $ chaos $ replay $ scope $ budget $ passes $ staging $ no_inline
-            $ no_clone $ outline $ max_ops $ no_reopt $ validate
-            $ mutation $ jobs $ no_reduce))
+            $ no_clone $ outline $ inline_mode $ region_cold_fraction
+            $ max_ops $ no_reopt $ validate $ mutation $ jobs $ no_reduce))
 
 let () = exit (Cmd.eval' cmd)

@@ -69,8 +69,8 @@ let print_daemon_outputs outputs =
    means "no usable daemon" — `--daemon auto` falls back to the
    in-process pipeline, `--daemon require` reports [msg]. *)
 let try_daemon ~socket ~files ~scope ~budget ~passes ~no_inline ~no_clone
-    ~max_ops ~policy_text ~dump_ir ~dump_asm ~dump_profile ~dump_journal
-    ~stats ~runner ~main =
+    ~max_ops ~policy_text ~inline_mode ~dump_ir ~dump_asm ~dump_profile
+    ~dump_journal ~stats ~runner ~main =
   let module P = Serve.Protocol in
   let socket =
     match socket with Some s -> s | None -> Serve.Client.default_socket ()
@@ -91,7 +91,9 @@ let try_daemon ~socket ~files ~scope ~budget ~passes ~no_inline ~no_clone
         { P.co_scope = Hlo.Config.scope_name scope; co_budget = budget;
           co_passes = passes; co_inline = not no_inline;
           co_clone = not no_clone; co_max_ops = max_ops;
-          co_policy = policy_text; co_main = main;
+          co_policy = policy_text;
+          co_inline_mode = Policy.inline_mode_name inline_mode;
+          co_main = main;
           co_runner =
             (match runner with
             | Run_none -> "none"
@@ -118,6 +120,7 @@ let try_daemon ~socket ~files ~scope ~budget ~passes ~no_inline ~no_clone
       | Ok _ -> Error "daemon sent an unexpected response")
 
 let compile_and_run files scope budget passes no_inline no_clone max_ops
+    inline_mode region_cold_fraction
     policy_file dump_policy dump_ir dump_asm dump_profile dump_journal stats
     runner main trace trace_format telemetry_summary jobs summary_cache
     compile_only link_isoms incremental isom_dir output write_profiles daemon
@@ -143,7 +146,8 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
         { Hlo.Config.default with
           Hlo.Config.budget_percent = budget; pass_limit = passes;
           enable_inlining = not no_inline; enable_cloning = not no_clone;
-          max_operations = max_ops }
+          max_operations = max_ops; inline_mode;
+          region_cold_fraction }
         scope
     in
     match policy_opt with
@@ -181,7 +185,11 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
      summary cache) stay in-process. *)
   let daemon_eligible =
     mode = Whole && trace = None && (not telemetry_summary)
-    && summary_cache = None && not write_profiles
+    && summary_cache = None && (not write_profiles)
+    (* The bare --region-cold-fraction flag has no wire slot (a policy
+       file carries it fine); a non-default value compiles in-process. *)
+    && region_cold_fraction
+       = Hlo.Config.default.Hlo.Config.region_cold_fraction
   in
   let daemon_verdict =
     match daemon with
@@ -198,7 +206,8 @@ let compile_and_run files scope budget passes no_inline no_clone max_ops
         try_daemon ~socket:daemon_socket ~files ~scope ~budget ~passes
           ~no_inline ~no_clone ~max_ops
           ~policy_text:(Option.map Policy.to_string policy_opt)
-          ~dump_ir ~dump_asm ~dump_profile ~dump_journal ~stats ~runner ~main
+          ~inline_mode ~dump_ir ~dump_asm ~dump_profile ~dump_journal ~stats
+          ~runner ~main
       with
       | Ok result -> `Served result
       | Error msg ->
@@ -470,6 +479,30 @@ let max_ops =
            ~doc:"Artificially stop after N inline/clone operations (the \
                  Figure 8 instrumentation).")
 
+let inline_mode =
+  let parse s =
+    match Policy.inline_mode_of_name s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m = Fmt.string ppf (Policy.inline_mode_name m) in
+  Arg.(value
+       & opt (conv (parse, print)) Policy.Whole
+       & info [ "inline-mode" ] ~docv:"MODE"
+           ~doc:"What to do with a callee whose whole body busts the \
+                 budget: $(b,whole) rejects the site (the paper), \
+                 $(b,region) eagerly outlines its cold regions and \
+                 inlines the hot residue, $(b,demand) does the same \
+                 lazily from the ranked worklist.  $(b,--policy) \
+                 overrides this, like $(b,--budget).")
+
+let region_cold_fraction =
+  Arg.(value
+       & opt float Hlo.Config.default.Hlo.Config.region_cold_fraction
+       & info [ "region-cold-fraction" ] ~docv:"F"
+           ~doc:"Region/demand coldness cut: a block below $(docv) times \
+                 its routine's hottest block count is outlinable residue.")
+
 let policy_file =
   Arg.(value & opt (some string) None
        & info [ "policy" ] ~docv:"FILE"
@@ -654,7 +687,8 @@ let cmd =
   Cmd.v info
     Term.(ret
             (const compile_and_run $ files $ scope $ budget $ passes $ no_inline
-            $ no_clone $ max_ops $ policy_file $ dump_policy
+            $ no_clone $ max_ops $ inline_mode $ region_cold_fraction
+            $ policy_file $ dump_policy
             $ dump_ir $ dump_asm $ dump_profile
             $ dump_journal $ stats $ runner $ entry_name $ trace $ trace_format
             $ telemetry_summary $ jobs $ summary_cache $ compile_only

@@ -63,6 +63,28 @@ let run_pareto input =
     (Experiments.Policy_search.to_table
        (Experiments.Policy_search.run ~input ()))
 
+let run_modes input budget json_path =
+  section
+    "Inline modes: whole vs region vs demand (oracle-gated, starved budget)";
+  let study = Experiments.Inline_modes.run ~input ~budget () in
+  print_string (Experiments.Inline_modes.to_table study);
+  let wins = Experiments.Inline_modes.region_wins study in
+  Fmt.pr "region wins (faster, no larger): %s@."
+    (if wins = [] then "none"
+     else
+       String.concat ", "
+         (List.map
+            (fun r -> r.Experiments.Inline_modes.im_benchmark)
+            wins));
+  match json_path with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc
+          (Telemetry.Json.to_string (Experiments.Inline_modes.to_json study));
+        output_char oc '\n');
+    Fmt.pr "wrote %s@." path
+
 let run_ablations input =
   section "Ablations: staging / cold penalty / outlining / positioning";
   List.iter
@@ -71,7 +93,7 @@ let run_ablations input =
       print_newline ())
     (Experiments.Ablations.all ~input ())
 
-let run what input =
+let run what input budget json_path =
   (match what with
   | "fig5" -> run_fig5 ()
   | "table1" -> run_table1 input
@@ -82,6 +104,7 @@ let run what input =
   | "scaling" -> run_scaling ()
   | "cache" -> run_cache_sweep input
   | "pareto" -> run_pareto input
+  | "modes" -> run_modes input budget json_path
   | "all" ->
     run_fig5 ();
     run_table1 input;
@@ -99,13 +122,27 @@ let what =
        & info [] ~docv:"EXPERIMENT"
            ~doc:"One of $(b,fig5), $(b,table1), $(b,fig6), $(b,fig7), \
                  $(b,fig8), $(b,ablations), $(b,cache), $(b,scaling), \
-                 $(b,pareto) or $(b,all).  $(b,pareto) (the $(b,hlo_tune) \
-                 search at default parameters) is not part of $(b,all); \
-                 use $(b,hlo_tune) itself for the full interface.")
+                 $(b,pareto), $(b,modes) or $(b,all).  $(b,pareto) (the \
+                 $(b,hlo_tune) search at default parameters) and \
+                 $(b,modes) (the whole/region/demand inline-mode \
+                 comparison) are not part of $(b,all).")
+
+let budget_arg =
+  Arg.(value & opt float 15.0
+       & info [ "budget" ] ~docv:"PCT"
+           ~doc:"Budget percentage for the $(b,modes) experiment.  The \
+                 modes only diverge when callees are unaffordable whole, \
+                 so the default starves the budget.")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Where the $(b,modes) experiment writes its machine-readable \
+                 results (e.g. BENCH_pr10.json).")
 
 let cmd =
   let doc = "regenerate the evaluation tables and figures of the paper" in
   Cmd.v (Cmd.info "hlo-experiments" ~version:"1.0" ~doc)
-    Term.(const run $ what $ input_arg)
+    Term.(const run $ what $ input_arg $ budget_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

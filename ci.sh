@@ -103,6 +103,23 @@ dune exec bin/hloc.exe -- \
   --policy _build/tune_policies/specint92.policy --dump-policy > /dev/null
 echo "policy round trip identical; tuner deterministic"
 
+echo "== inline mode smoke (hloc --inline-mode) =="
+# Whole spelled explicitly must be byte-identical to the default; the
+# three modes must agree on the program's run output even at a budget
+# starved enough to force region/demand splitting.
+dune exec bin/hloc.exe -- \
+  examples/telemetry_util.mc examples/telemetry_main.mc \
+  --dump-ir --stats --run interp --inline-mode whole > "$tmp/mode-whole.txt"
+diff -u "$tmp/whole.txt" "$tmp/mode-whole.txt"
+for mode in whole region demand; do
+  dune exec bin/hloc.exe -- \
+    examples/telemetry_util.mc examples/telemetry_main.mc \
+    --run interp --inline-mode "$mode" --budget 5 > "$tmp/mode-run-$mode.txt"
+done
+diff -u "$tmp/mode-run-whole.txt" "$tmp/mode-run-region.txt"
+diff -u "$tmp/mode-run-whole.txt" "$tmp/mode-run-demand.txt"
+echo "whole mode inert; all three modes agree on run output"
+
 echo "== scale bench smoke (make bench-scale) =="
 # One 1000-routine synthetic workload compiled at jobs 1 and jobs 4:
 # IR, report and decision journal must be bit-identical, and on a
@@ -121,11 +138,16 @@ dune exec bin/hlo_fuzz.exe -- --seed 1 --iters 400 --time-budget 30 \
 
 echo "== chaos validation (hlo_fuzz --chaos must catch each seeded bug) =="
 # Arm each deliberate miscompilation in turn: the smoke budget must
-# catch it (nonzero exit) and the reducer must shrink the repro.
+# catch it (nonzero exit) and the reducer must shrink the repro.  The
+# region-splitting bug only fires on the outline-then-inline path, so
+# its campaign is pinned to region mode.
 for bug in inline_swap_args inline_lost_retval clone_const_drift \
-           prune_address_taken; do
+           prune_address_taken region_lost_cold_path; do
+  extra=""
+  [ "$bug" = region_lost_cold_path ] && extra="--inline-mode region"
   if dune exec bin/hlo_fuzz.exe -- --seed 1 --iters 120 --time-budget 60 \
-       --chaos "$bug" --out "$tmp/chaos-$bug" > "$tmp/chaos-$bug.log" 2>&1; then
+       --chaos "$bug" $extra --out "$tmp/chaos-$bug" \
+       > "$tmp/chaos-$bug.log" 2>&1; then
     echo "chaos bug $bug was NOT caught"
     cat "$tmp/chaos-$bug.log"
     exit 1

@@ -34,6 +34,11 @@ let can_afford t ~pass delta = t.spent +. delta <= stage_allowance t ~pass
 
 let charge t delta = t.spent <- t.spent +. delta
 
+(** Hand back [delta] cost units — outlining a callee mid-pass shrinks
+    the program, and the saving belongs to the budget just like
+    recalibration shrinkage does.  Never drives [spent] below zero. *)
+let credit t delta = t.spent <- Float.max 0.0 (t.spent -. delta)
+
 (** True when even the final stage has no room left. *)
 let exhausted t = t.spent >= t.allowance
 

@@ -19,6 +19,10 @@ val remaining : t -> pass:int -> float
 val can_afford : t -> pass:int -> float -> bool
 val charge : t -> float -> unit
 
+(** Hand cost back (mid-pass shrinkage, e.g. region/demand outlining
+    of a callee); [spent] is clamped at zero. *)
+val credit : t -> float -> unit
+
 (** No room left even at the final stage. *)
 val exhausted : t -> bool
 

@@ -3,16 +3,18 @@ type bug =
   | Inline_lost_retval
   | Clone_const_drift
   | Prune_address_taken
+  | Region_lost_cold_path
 
 let all =
   [ Inline_swap_args; Inline_lost_retval; Clone_const_drift;
-    Prune_address_taken ]
+    Prune_address_taken; Region_lost_cold_path ]
 
 let name = function
   | Inline_swap_args -> "inline_swap_args"
   | Inline_lost_retval -> "inline_lost_retval"
   | Clone_const_drift -> "clone_const_drift"
   | Prune_address_taken -> "prune_address_taken"
+  | Region_lost_cold_path -> "region_lost_cold_path"
 
 let of_name s = List.find_opt (fun b -> name b = s) all
 

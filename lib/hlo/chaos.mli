@@ -24,6 +24,10 @@ type bug =
       (** {!Driver}'s unreachable-routine deletion ignores [Faddr]
           references, deleting routines that are only reached through
           function handles *)
+  | Region_lost_cold_path
+      (** {!Outliner.extract} drops the instructions of one outlined
+          block, so the residue routine keeps the cold path's control
+          flow but loses its effects *)
 
 val all : bug list
 

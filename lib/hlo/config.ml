@@ -45,6 +45,14 @@ type t = {
   stage_order : Policy.stage list;
       (** the schedule interpreted once per pass; the default is the
           fixed clone/inline/prune/clean/prune order of the paper *)
+  inline_mode : Policy.inline_mode;
+      (** what to do with a callee whose whole body busts the budget:
+          reject it ([Whole], the paper), outline its cold regions
+          eagerly before ranking ([Region]) or lazily at the failing
+          budget check ([Demand]) and inline the hot residue *)
+  region_cold_fraction : float;
+      (** region/demand coldness cut: a block below this fraction of
+          its routine's hottest block count is outlinable residue *)
   validate : bool;  (** check IR invariants after each pass (testing) *)
 }
 
@@ -56,7 +64,9 @@ let default =
     cold_site_penalty = 0.25; indirect_bonus = 4.0;
     enable_outlining = false; outline_cold_fraction = 0.05;
     outline_min_instructions = 6; outline_max_inputs = 6;
-    stage_order = Policy.default.Policy.stages; validate = false }
+    stage_order = Policy.default.Policy.stages;
+    inline_mode = Policy.Whole; region_cold_fraction = 0.5;
+    validate = false }
 
 (** Overlay a policy's knobs on [base] (default: {!default}).  Scope
     switches, validation and Figure 8 instrumentation are not policy
@@ -71,7 +81,8 @@ let of_policy ?(base = default) (p : Policy.t) =
     outline_cold_fraction = p.Policy.outline_cold_fraction;
     outline_min_instructions = p.Policy.outline_min_instructions;
     outline_max_inputs = p.Policy.outline_max_inputs;
-    stage_order = p.Policy.stages }
+    stage_order = p.Policy.stages; inline_mode = p.Policy.inline_mode;
+    region_cold_fraction = p.Policy.region_cold_fraction }
 
 (** The policy this configuration embodies — the exact inverse of
     {!of_policy} on the policy-owned fields. *)
@@ -81,7 +92,9 @@ let to_policy t =
     indirect_bonus = t.indirect_bonus; outline = t.enable_outlining;
     outline_cold_fraction = t.outline_cold_fraction;
     outline_min_instructions = t.outline_min_instructions;
-    outline_max_inputs = t.outline_max_inputs; stages = t.stage_order }
+    outline_max_inputs = t.outline_max_inputs;
+    inline_mode = t.inline_mode;
+    region_cold_fraction = t.region_cold_fraction; stages = t.stage_order }
 
 (** The four measurement scopes of Table 1: base (per-module, no
     profile), [c] = cross-module, [p] = profile, [cp] = both. *)
@@ -146,6 +159,13 @@ let to_flags t =
       (if not t.enable_inlining then [ "--no-inline" ] else []);
       (if not t.enable_cloning then [ "--no-clone" ] else []);
       (if t.enable_outlining then [ "--outline" ] else []);
+      (if t.inline_mode <> d.inline_mode then
+         [ "--inline-mode"; Policy.inline_mode_name t.inline_mode ]
+       else []);
+      (if t.region_cold_fraction <> d.region_cold_fraction then
+         [ "--region-cold-fraction";
+           Printf.sprintf "%g" t.region_cold_fraction ]
+       else []);
       (match t.max_operations with
       | Some n -> [ "--max-operations"; string_of_int n ]
       | None -> []);

@@ -75,19 +75,18 @@ let screen (st : State.t) (e : CG.edge) : (U.routine * U.routine, rejection) res
 (* Benefit.                                                            *)
 
 let benefit_of (st : State.t) (caller : U.routine) (callee : U.routine)
-    (e : CG.edge) : float =
+    ~(site : U.site) ~(block : U.label) : float =
   let config = st.State.config in
   let profile = st.State.profile in
   let freq =
-    Summaries.site_frequency ~config ~profile caller ~site:e.CG.e_site
-      ~label:e.CG.e_block
+    Summaries.site_frequency ~config ~profile caller ~site ~label:block
   in
   let cold_penalty =
     if
       config.Config.use_profile
       && (not (Ucode.Profile.is_empty profile))
       && Ucode.Profile.block_count profile ~routine:caller.U.r_name
-           ~block:e.CG.e_block
+           ~block
          < Ucode.Profile.entry_count profile caller
     then config.Config.cold_site_penalty
     else 1.0
@@ -243,47 +242,170 @@ let run_pass (st : State.t) ~(pass : int) : string list =
             Some
               { i_caller = caller.U.r_name; i_callee = callee.U.r_name;
                 i_site = e.CG.e_site; i_block = e.CG.e_block;
-                i_benefit = benefit_of st caller callee e;
+                i_benefit =
+                  benefit_of st caller callee ~site:e.CG.e_site
+                    ~block:e.CG.e_block;
                 i_callee_size = Summary_cache.size callee })
         cg.CG.cg_edges
     in
-    let ranked =
+    let rank cands =
       List.stable_sort
         (fun a b ->
           match compare b.i_benefit a.i_benefit with
           | 0 -> compare a.i_callee_size b.i_callee_size
           | n -> n)
-        candidates
+        cands
     in
+    let ranked = rank candidates in
     (* Greedy acceptance with cascaded size estimates. *)
     let est_size = Hashtbl.create 64 in
     List.iter
       (fun (r : U.routine) ->
         Hashtbl.replace est_size r.U.r_name (Summary_cache.size r))
       p.U.p_routines;
+    let whole_body_delta cand =
+      let sz_caller = Hashtbl.find est_size cand.i_caller in
+      let sz_callee = Hashtbl.find est_size cand.i_callee in
+      Ucode.Size.cost_of_size (sz_caller + sz_callee)
+      -. Ucode.Size.cost_of_size sz_caller
+    in
+    (* Region/demand machinery: split an over-budget callee by
+       outlining its cold regions (coldness against its hottest block),
+       leaving a hot residue the greedy loop can re-price.  Memoized
+       per callee — once split (or found unsplittable), never again
+       this pass. *)
+    let mode = st.State.config.Config.inline_mode in
+    let outliner_config =
+      { Outliner.cold_fraction = st.State.config.Config.region_cold_fraction;
+        min_instructions = st.State.config.Config.outline_min_instructions;
+        max_inputs = st.State.config.Config.outline_max_inputs }
+    in
+    let split_state : (string, bool) Hashtbl.t = Hashtbl.create 8 in
+    let was_split name = Hashtbl.find_opt split_state name = Some true in
+    let try_split (trigger : candidate) : bool =
+      let name = trigger.i_callee in
+      match Hashtbl.find_opt split_state name with
+      | Some ok -> ok
+      | None ->
+        let before_names =
+          List.fold_left
+            (fun acc (r : U.routine) -> U.String_set.add r.U.r_name acc)
+            U.String_set.empty st.State.program.U.p_routines
+        in
+        let cost_before =
+          match U.find_routine st.State.program name with
+          | Some r -> Ucode.Size.cost_of_size (Summary_cache.size r)
+          | None -> 0.0
+        in
+        let n = Outliner.outline_routine ~config:outliner_config st name in
+        let ok = n > 0 in
+        if ok then begin
+          st.State.report.Report.residue_outlined <-
+            st.State.report.Report.residue_outlined + n;
+          (* The split shrinks Σ size² — hand the saving back so the
+             residue can be afforded where the whole body could not. *)
+          let cost_after =
+            List.fold_left
+              (fun acc (r : U.routine) ->
+                if
+                  r.U.r_name = name
+                  || not (U.String_set.mem r.U.r_name before_names)
+                then acc +. Ucode.Size.cost_of_size (Summary_cache.size r)
+                else acc)
+              0.0 st.State.program.U.p_routines
+          in
+          Budget.credit st.State.budget (cost_before -. cost_after);
+          (match U.find_routine st.State.program name with
+          | Some r -> Hashtbl.replace est_size name (Summary_cache.size r)
+          | None -> ());
+          if T.enabled () then begin
+            T.count "hlo.inline.outlined_then_inlined" 1;
+            (* The whole-body inline is off the table; the journal
+               records why before the residue is (re-)priced. *)
+            T.decision ~kind:TE.Inline
+              ~verdict:(TE.Rejected "outlined_then_inlined")
+              ~context:trigger.i_caller ~site:trigger.i_site
+              ~score:trigger.i_benefit ~pass name
+          end
+        end;
+        Hashtbl.replace split_state name ok;
+        ok
+    in
+    let rescore cand =
+      let p = st.State.program in
+      match
+        (U.find_routine p cand.i_caller, U.find_routine p cand.i_callee)
+      with
+      | Some caller, Some callee ->
+        { cand with
+          i_benefit =
+            benefit_of st caller callee ~site:cand.i_site ~block:cand.i_block;
+          i_callee_size = Summary_cache.size callee }
+      | _ -> cand
+    in
+    (* Region mode: an eager pre-pass — split every callee whose whole
+       body fails this stage's budget check, then re-score and re-rank
+       the surviving candidates against the residues. *)
+    let ranked =
+      if mode = Policy.Region then begin
+        let any_split =
+          List.fold_left
+            (fun acc cand ->
+              if Budget.can_afford st.State.budget ~pass (whole_body_delta cand)
+              then acc
+              else
+                let ok = try_split cand in
+                ok || acc)
+            false ranked
+        in
+        if any_split then rank (List.map rescore ranked) else ranked
+      end
+      else ranked
+    in
+    let reject_reason cand =
+      if mode <> Policy.Whole && was_split cand.i_callee then
+        "residue_over_budget"
+      else "budget"
+    in
+    let accept cand delta =
+      let sz_caller = Hashtbl.find est_size cand.i_caller in
+      let sz_callee = Hashtbl.find est_size cand.i_callee in
+      Budget.charge st.State.budget delta;
+      Hashtbl.replace est_size cand.i_caller (sz_caller + sz_callee);
+      T.count "hlo.inline.scheduled" 1
+    in
     let accepted =
       List.filter
         (fun cand ->
-          let sz_caller = Hashtbl.find est_size cand.i_caller in
-          let sz_callee = Hashtbl.find est_size cand.i_callee in
-          let delta =
-            Ucode.Size.cost_of_size (sz_caller + sz_callee)
-            -. Ucode.Size.cost_of_size sz_caller
-          in
+          let delta = whole_body_delta cand in
           if Budget.can_afford st.State.budget ~pass delta then begin
-            Budget.charge st.State.budget delta;
-            Hashtbl.replace est_size cand.i_caller (sz_caller + sz_callee);
-            T.count "hlo.inline.scheduled" 1;
+            accept cand delta;
             true
           end
           else begin
-            if T.enabled () then begin
-              T.count "hlo.inline.reject.budget" 1;
-              T.decision ~kind:TE.Inline ~verdict:(TE.Rejected "budget")
-                ~context:cand.i_caller ~site:cand.i_site ~score:cand.i_benefit
-                ~pass cand.i_callee
-            end;
-            false
+            (* Demand mode: split lazily, at the moment the whole body
+               fails, then re-price this very candidate. *)
+            let retried =
+              mode = Policy.Demand && try_split cand
+              &&
+              let delta = whole_body_delta cand in
+              Budget.can_afford st.State.budget ~pass delta
+              && begin
+                   accept cand delta;
+                   true
+                 end
+            in
+            if retried then true
+            else begin
+              if T.enabled () then begin
+                let reason = reject_reason cand in
+                T.count ("hlo.inline.reject." ^ reason) 1;
+                T.decision ~kind:TE.Inline ~verdict:(TE.Rejected reason)
+                  ~context:cand.i_caller ~site:cand.i_site
+                  ~score:cand.i_benefit ~pass cand.i_callee
+              end;
+              false
+            end
           end)
         ranked
     in

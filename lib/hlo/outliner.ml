@@ -144,17 +144,30 @@ let validate_region (cfg : config) (r : U.routine) (live : Opt.Liveness.t)
   end
 
 (** All outlinable regions of a routine, best (largest) first,
-    non-overlapping. *)
-let find_regions ?(config = default_config) ~(profile : Ucode.Profile.t)
-    (r : U.routine) : region list =
+    non-overlapping.  [basis] picks the reference count the
+    [cold_fraction] cut is relative to: the routine's entry count (the
+    §5 outliner) or its hottest block (region/demand inlining, where
+    the point is to split a routine with one dominant path). *)
+let find_regions ?(config = default_config) ?(basis = `Entry)
+    ~(profile : Ucode.Profile.t) (r : U.routine) : region list =
   if Ucode.Profile.is_empty profile then []
   else begin
-    let entry_count = Ucode.Profile.entry_count profile r in
-    if entry_count <= 0.0 then []
+    let reference =
+      match basis with
+      | `Entry -> Ucode.Profile.entry_count profile r
+      | `Hottest ->
+        List.fold_left
+          (fun acc (b : U.block) ->
+            Float.max acc
+              (Ucode.Profile.block_count profile ~routine:r.U.r_name
+                 ~block:b.U.b_id))
+          0.0 r.U.r_blocks
+    in
+    if reference <= 0.0 then []
     else begin
       let is_cold l =
         Ucode.Profile.block_count profile ~routine:r.U.r_name ~block:l
-        < config.cold_fraction *. entry_count
+        < config.cold_fraction *. reference
       in
       let blocks = blocks_of r in
       let live = Opt.Liveness.compute r in
@@ -197,6 +210,17 @@ let extract (st : State.t) (r : U.routine) (rg : region) :
   let region_blocks =
     List.filter (fun (b : U.block) -> U.Int_set.mem b.U.b_id rg.rg_blocks)
       r.U.r_blocks
+  in
+  let region_blocks =
+    if Chaos.enabled Chaos.Region_lost_cold_path then
+      (* Keep the region's control flow but lose the entry block's
+         effects.  Registers stay in range, so the residue still
+         validates — only the oracle can tell. *)
+      List.map
+        (fun (b : U.block) ->
+          if b.U.b_id = rg.rg_entry then { b with U.b_instrs = [] } else b)
+        region_blocks
+    else region_blocks
   in
   let renew_sites (b : U.block) =
     { b with
@@ -271,49 +295,66 @@ let extract (st : State.t) (r : U.routine) (rg : region) :
   in
   ({ r with U.r_blocks = kept }, outlined)
 
+(** Apply [regions] (stated in terms of [name]'s labels) one at a
+    time, re-fetching the evolving routine.  Returns the number
+    extracted. *)
+let apply_regions (st : State.t) name regions : int =
+  let extracted = ref 0 in
+  List.iter
+    (fun rg ->
+      match U.find_routine st.State.program name with
+      | None -> ()
+      | Some current ->
+        (* The region is stated in terms of the original routine's
+           labels; skip if a previous extraction touched them. *)
+        let labels_present =
+          U.Int_set.for_all
+            (fun l -> U.find_block current l <> None)
+            rg.rg_blocks
+        in
+        if labels_present then begin
+          let shrunk, outlined = extract st current rg in
+          st.State.program <- U.update_routine st.State.program shrunk;
+          st.State.program <- U.add_routine st.State.program outlined;
+          if Telemetry.Collector.enabled () then begin
+            Telemetry.Collector.count "hlo.outline.regions" 1;
+            Telemetry.Collector.count "hlo.outline.instructions" rg.rg_size;
+            Telemetry.Collector.decision ~kind:Telemetry.Event.Outline
+              ~verdict:Telemetry.Event.Accepted ~context:name
+              ~score:(float_of_int rg.rg_size) outlined.U.r_name
+          end;
+          (* The moved blocks keep their counts, under the new
+             routine's name. *)
+          U.Int_set.iter
+            (fun l ->
+              st.State.profile <-
+                Ucode.Profile.add_block st.State.profile
+                  ~routine:outlined.U.r_name ~block:l
+                  (Ucode.Profile.block_count st.State.profile ~routine:name
+                     ~block:l))
+            rg.rg_blocks;
+          incr extracted
+        end)
+    regions;
+  !extracted
+
 (** Outline every profitable cold region in the program.  Returns the
     number of regions extracted. *)
 let run_pass ?(config = default_config) (st : State.t) : int =
-  let extracted = ref 0 in
-  List.iter
-    (fun (r : U.routine) ->
+  List.fold_left
+    (fun acc (r : U.routine) ->
       let regions = find_regions ~config ~profile:st.State.profile r in
-      (* Apply regions one at a time, re-fetching the evolving routine. *)
-      List.iter
-        (fun rg ->
-          match U.find_routine st.State.program r.U.r_name with
-          | None -> ()
-          | Some current ->
-            (* The region is stated in terms of the original routine's
-               labels; skip if a previous extraction touched them. *)
-            let labels_present =
-              U.Int_set.for_all
-                (fun l -> U.find_block current l <> None)
-                rg.rg_blocks
-            in
-            if labels_present then begin
-              let shrunk, outlined = extract st current rg in
-              st.State.program <- U.update_routine st.State.program shrunk;
-              st.State.program <- U.add_routine st.State.program outlined;
-              if Telemetry.Collector.enabled () then begin
-                Telemetry.Collector.count "hlo.outline.regions" 1;
-                Telemetry.Collector.count "hlo.outline.instructions" rg.rg_size;
-                Telemetry.Collector.decision ~kind:Telemetry.Event.Outline
-                  ~verdict:Telemetry.Event.Accepted ~context:r.U.r_name
-                  ~score:(float_of_int rg.rg_size) outlined.U.r_name
-              end;
-              (* The moved blocks keep their counts, under the new
-                 routine's name. *)
-              U.Int_set.iter
-                (fun l ->
-                  st.State.profile <-
-                    Ucode.Profile.add_block st.State.profile
-                      ~routine:outlined.U.r_name ~block:l
-                      (Ucode.Profile.block_count st.State.profile
-                         ~routine:r.U.r_name ~block:l))
-                rg.rg_blocks;
-              incr extracted
-            end)
-        regions)
-    st.State.program.U.p_routines;
-  !extracted
+      acc + apply_regions st r.U.r_name regions)
+    0 st.State.program.U.p_routines
+
+(** Outline the cold regions of one routine, coldness measured against
+    its hottest block — the region/demand inliner's entry point for
+    splitting an over-budget callee.  Returns the number extracted. *)
+let outline_routine ?(config = default_config) (st : State.t) name : int =
+  match U.find_routine st.State.program name with
+  | None -> 0
+  | Some r ->
+    let regions =
+      find_regions ~config ~basis:`Hottest ~profile:st.State.profile r
+    in
+    apply_regions st name regions

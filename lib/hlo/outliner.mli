@@ -24,12 +24,22 @@ type region = {
   rg_size : int;
 }
 
-(** Outlinable regions of a routine, largest first, non-overlapping. *)
+(** Outlinable regions of a routine, largest first, non-overlapping.
+    [basis] (default [`Entry]) picks what the [cold_fraction] cut is
+    relative to: the routine's entry count, or its hottest block
+    ([`Hottest] — used by region/demand inlining, where the point is
+    splitting a routine with one dominant path). *)
 val find_regions :
   ?config:config ->
+  ?basis:[ `Entry | `Hottest ] ->
   profile:Ucode.Profile.t ->
   Ucode.Types.routine ->
   region list
 
 (** Extract every profitable region program-wide; returns how many. *)
 val run_pass : ?config:config -> State.t -> int
+
+(** Outline one routine's cold regions, coldness measured against its
+    hottest block — how the region/demand inliner splits an
+    over-budget callee.  Returns how many regions were extracted. *)
+val outline_routine : ?config:config -> State.t -> string -> int

@@ -15,6 +15,8 @@ type t = {
   mutable clone_replacements : int;
   mutable deletions : int;
   mutable outlined : int;  (** cold regions extracted (§5 extension) *)
+  mutable residue_outlined : int;
+      (** regions split off over-budget callees by region/demand mode *)
   mutable passes_run : int;
   mutable cost_before : float;
   mutable cost_after : float;
@@ -23,8 +25,8 @@ type t = {
 
 let create () =
   { inlines = 0; clones_created = 0; clone_replacements = 0; deletions = 0;
-    outlined = 0; passes_run = 0; cost_before = 0.0; cost_after = 0.0;
-    operations = [] }
+    outlined = 0; residue_outlined = 0; passes_run = 0; cost_before = 0.0;
+    cost_after = 0.0; operations = [] }
 
 let operations_in_order t = List.rev t.operations
 
@@ -34,7 +36,12 @@ let pp ppf t =
   Fmt.pf ppf
     "inlines=%d clones=%d clone-repls=%d deletions=%d%s passes=%d cost %.0f -> %.0f (%s)"
     t.inlines t.clones_created t.clone_replacements t.deletions
-    (if t.outlined > 0 then Printf.sprintf " outlined=%d" t.outlined else "")
+    (String.concat ""
+       [ (if t.outlined > 0 then Printf.sprintf " outlined=%d" t.outlined
+          else "");
+         (if t.residue_outlined > 0 then
+            Printf.sprintf " residues=%d" t.residue_outlined
+          else "") ])
     t.passes_run
     t.cost_before t.cost_after
     (* A zero pre-HLO cost makes the percent delta meaningless; keep

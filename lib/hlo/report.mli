@@ -21,6 +21,8 @@ type t = {
   mutable clone_replacements : int;
   mutable deletions : int;
   mutable outlined : int;
+  mutable residue_outlined : int;
+      (** cold regions split off over-budget callees (region/demand) *)
   mutable passes_run : int;
   mutable cost_before : float;
   mutable cost_after : float;

@@ -28,12 +28,23 @@ let strip_digits s =
        (String.split_on_char ' '
           (String.map (fun c -> if c >= '0' && c <= '9' then ' ' else c) s)))
 
-let bucket_of_kind = function
+(* Region and demand mode run genuinely different transformation code,
+   so a failure under them is a different bug until proven otherwise —
+   the mode participates in the hash.  Whole mode hashes exactly as
+   before this parameter existed, keeping historical bucket directories
+   valid. *)
+let bucket_of_kind ?(mode = Policy.Whole) kind =
+  let tag =
+    match mode with
+    | Policy.Whole -> ""
+    | m -> "mode=" ^ Policy.inline_mode_name m ^ "|"
+  in
+  match kind with
   | Mismatch { cls; _ } ->
-    String.sub (Digest.to_hex (Digest.string ("mismatch|" ^ cls))) 0 10
+    String.sub (Digest.to_hex (Digest.string (tag ^ "mismatch|" ^ cls))) 0 10
   | Crash { exn_class; _ } ->
     String.sub
-      (Digest.to_hex (Digest.string ("crash|" ^ strip_digits exn_class)))
+      (Digest.to_hex (Digest.string (tag ^ "crash|" ^ strip_digits exn_class)))
       0 10
 
 let kind_summary = function
@@ -43,7 +54,9 @@ let kind_summary = function
 let kind_detail = function
   | Mismatch { detail; _ } | Crash { detail; _ } -> detail
 
-let fail case kind = Failed { f_case = case; f_kind = kind; f_bucket = bucket_of_kind kind }
+let fail case kind =
+  let mode = case.c_check.Sem.ck_config.Hlo.Config.inline_mode in
+  Failed { f_case = case; f_kind = kind; f_bucket = bucket_of_kind ~mode kind }
 
 let run_case ?(interp_config = Interp.default_config) (case : case) :
     run_outcome =

@@ -35,7 +35,12 @@ type run_outcome =
   | Skipped of string  (** the case does not compile — not a finding *)
   | Failed of failure
 
-val bucket_of_kind : failure_kind -> string
+(** The stable bucket hash of a failure class.  [mode] tags region- and
+    demand-mode failures into buckets of their own (the modes run
+    different transformation code, so one failure class can be two
+    bugs); [Whole] — the default — hashes identically to the pre-mode
+    engine, so historical bucket directories stay valid. *)
+val bucket_of_kind : ?mode:Policy.inline_mode -> failure_kind -> string
 
 val run_case : ?interp_config:Interp.config -> case -> run_outcome
 

@@ -17,6 +17,19 @@ let stage_of_name = function
   | "prune" -> Ok Prune
   | s -> Error ("unknown stage " ^ s)
 
+type inline_mode = Whole | Region | Demand
+
+let inline_mode_name = function
+  | Whole -> "whole"
+  | Region -> "region"
+  | Demand -> "demand"
+
+let inline_mode_of_name = function
+  | "whole" -> Ok Whole
+  | "region" -> Ok Region
+  | "demand" -> Ok Demand
+  | s -> Error ("unknown inline mode " ^ s)
+
 type t = {
   budget_percent : float;
   staging : float list;
@@ -27,6 +40,8 @@ type t = {
   outline_cold_fraction : float;
   outline_min_instructions : int;
   outline_max_inputs : int;
+  inline_mode : inline_mode;
+  region_cold_fraction : float;
   stages : stage list;
 }
 
@@ -35,6 +50,7 @@ let default =
     pass_limit = 4; cold_site_penalty = 0.25; indirect_bonus = 4.0;
     outline = false; outline_cold_fraction = 0.05;
     outline_min_instructions = 6; outline_max_inputs = 6;
+    inline_mode = Whole; region_cold_fraction = 0.5;
     stages = [ Clone; Inline; Prune; Clean; Prune ] }
 
 (* ------------------------------------------------------------------ *)
@@ -83,6 +99,9 @@ let validate t =
     int_in_range "outline_min_instructions" t.outline_min_instructions 1 1000
   in
   let* () = int_in_range "outline_max_inputs" t.outline_max_inputs 0 64 in
+  let* () =
+    in_range "region_cold_fraction" t.region_cold_fraction 0.0 1.0
+  in
   if t.stages = [] then Error "stages must be nonempty"
   else if List.length t.stages > max_stages then
     Error (Printf.sprintf "more than %d stages" max_stages)
@@ -113,6 +132,9 @@ let to_string t =
         (float_str t.outline_cold_fraction);
       Printf.sprintf "outline_min_instructions %d\n" t.outline_min_instructions;
       Printf.sprintf "outline_max_inputs %d\n" t.outline_max_inputs;
+      Printf.sprintf "inline_mode %s\n" (inline_mode_name t.inline_mode);
+      Printf.sprintf "region_cold_fraction %s\n"
+        (float_str t.region_cold_fraction);
       Printf.sprintf "stages %s\n"
         (String.concat "," (List.map stage_name t.stages)) ]
 
@@ -183,7 +205,8 @@ let of_string text =
     let known =
       [ "budget_percent"; "staging"; "pass_limit"; "cold_site_penalty";
         "indirect_bonus"; "outline"; "outline_cold_fraction";
-        "outline_min_instructions"; "outline_max_inputs"; "stages" ]
+        "outline_min_instructions"; "outline_max_inputs"; "inline_mode";
+        "region_cold_fraction"; "stages" ]
     in
     List.fold_left
       (fun acc (key, _) ->
@@ -220,13 +243,28 @@ let of_string text =
   let* outline_max_inputs =
     Result.bind (field "outline_max_inputs") (parse_int "outline_max_inputs")
   in
+  (* The two inline-mode keys postdate the codec; policies written
+     before them (e.g. the committed [policies/*.policy]) load with the
+     defaults, while [to_string] always emits both. *)
+  let optional key default parse =
+    match List.assoc_opt key fields with
+    | None -> Ok default
+    | Some v -> parse v
+  in
+  let* inline_mode =
+    optional "inline_mode" default.inline_mode inline_mode_of_name
+  in
+  let* region_cold_fraction =
+    optional "region_cold_fraction" default.region_cold_fraction
+      (parse_float "region_cold_fraction")
+  in
   let* stages =
     Result.bind (field "stages") (parse_list "stages" stage_of_name)
   in
   let t =
     { budget_percent; staging; pass_limit; cold_site_penalty; indirect_bonus;
       outline; outline_cold_fraction; outline_min_instructions;
-      outline_max_inputs; stages }
+      outline_max_inputs; inline_mode; region_cold_fraction; stages }
   in
   let* () = validate t in
   Ok t
@@ -311,6 +349,10 @@ module Space = struct
       { pm_name = "outline_min_instructions"; pm_range = "2 .. 16";
         pm_kind = "int" };
       { pm_name = "outline_max_inputs"; pm_range = "1 .. 10"; pm_kind = "int" };
+      { pm_name = "inline_mode"; pm_range = "whole / region / demand";
+        pm_kind = "mode" };
+      { pm_name = "region_cold_fraction"; pm_range = "0.05 .. 0.95";
+        pm_kind = "float" };
       { pm_name = "stages";
         pm_range =
           "1 .. 8 of clean/outline/clone/inline/prune, with clone or inline";
@@ -433,6 +475,8 @@ module Space = struct
         outline_cold_fraction = round_dp 2 (uniform st 0.01 0.5);
         outline_min_instructions = 2 + Random.State.int st 15;
         outline_max_inputs = 1 + Random.State.int st 10;
+        inline_mode = choose st [ Whole; Region; Demand ];
+        region_cold_fraction = round_dp 2 (uniform st 0.05 0.95);
         stages = sample_schedule st }
     in
     match validate p with
@@ -441,7 +485,7 @@ module Space = struct
 
   let mutate st (p : t) : t =
     let p' =
-      match Random.State.int st 10 with
+      match Random.State.int st 12 with
       | 0 ->
         { p with
           budget_percent =
@@ -478,6 +522,18 @@ module Space = struct
           outline_max_inputs =
             clampi 1 10 (p.outline_max_inputs + choose st [ -2; 2 ]) }
       | 8 -> { p with stages = mutate_schedule st p.stages }
+      | 9 ->
+        { p with
+          inline_mode =
+            choose st
+              (List.filter (fun m -> m <> p.inline_mode)
+                 [ Whole; Region; Demand ]) }
+      | 10 ->
+        { p with
+          region_cold_fraction =
+            round_dp 2
+              (clamp 0.05 0.95
+                 (p.region_cold_fraction +. uniform st (-0.15) 0.15)) }
       | _ ->
         (* Occasional fresh restart keeps local search from stalling on
            a plateau. *)

@@ -27,6 +27,22 @@ type stage = Clean | Outline | Clone | Inline | Prune
 val stage_name : stage -> string
 val stage_of_name : string -> (stage, string) result
 
+(** How the inliner treats a callee whose whole body busts the budget:
+    - [Whole]: the paper's behaviour — reject the site (the callee is
+      inlined entirely or not at all);
+    - [Region]: eager pre-pass — before ranking, outline the cold
+      regions of every over-budget callee (blocks below
+      [region_cold_fraction] of the routine's hottest block) into
+      synthetic residue routines, then score and inline the hot
+      residue;
+    - [Demand]: the same outlining, driven lazily from the ranked
+      worklist — a callee is only split at the moment its whole body
+      fails the budget check. *)
+type inline_mode = Whole | Region | Demand
+
+val inline_mode_name : inline_mode -> string
+val inline_mode_of_name : string -> (inline_mode, string) result
+
 type t = {
   budget_percent : float;      (** allowed compile-cost increase *)
   staging : float list;        (** cumulative budget fraction per pass *)
@@ -37,6 +53,9 @@ type t = {
   outline_cold_fraction : float;
   outline_min_instructions : int;
   outline_max_inputs : int;
+  inline_mode : inline_mode;   (** whole / region / demand *)
+  region_cold_fraction : float;
+      (** region/demand coldness cut, relative to the hottest block *)
   stages : stage list;         (** per-pass schedule, in order *)
 }
 
@@ -64,8 +83,10 @@ val max_stages : int
 
     One [key value] line per knob, fixed key order, floats printed so
     they parse back to the same bits.  [of_string] is strict: every
-    key exactly once, nothing else, and the decoded policy must pass
-    {!validate}. *)
+    key at most once, nothing unknown, and the decoded policy must
+    pass {!validate}.  The only optional keys are [inline_mode] and
+    [region_cold_fraction] (they postdate the format; older files load
+    with the defaults) — everything else must be present. *)
 
 val to_string : t -> string
 val of_string : string -> (t, string) result

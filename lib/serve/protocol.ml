@@ -77,6 +77,7 @@ type compile_options = {
   co_clone : bool;
   co_max_ops : int option;
   co_policy : string option;
+  co_inline_mode : string;
   co_main : string;
   co_runner : string;
   co_stats : bool;
@@ -88,8 +89,8 @@ type compile_options = {
 
 let default_options =
   { co_scope = "cp"; co_budget = 100.0; co_passes = 4; co_inline = true;
-    co_clone = true; co_max_ops = None; co_policy = None; co_main = "main";
-    co_runner = "sim";
+    co_clone = true; co_max_ops = None; co_policy = None;
+    co_inline_mode = "whole"; co_main = "main"; co_runner = "sim";
     co_stats = false; co_dump_ir = false; co_dump_profile = false;
     co_dump_asm = false; co_dump_journal = false }
 
@@ -138,6 +139,7 @@ let options_to_json (o : compile_options) : J.t =
       ("max_ops", match o.co_max_ops with None -> J.Null | Some n -> J.Int n);
       ( "policy",
         match o.co_policy with None -> J.Null | Some s -> J.String s );
+      ("inline_mode", J.String o.co_inline_mode);
       ("main", J.String o.co_main); ("runner", J.String o.co_runner);
       ("stats", J.Bool o.co_stats); ("dump_ir", J.Bool o.co_dump_ir);
       ("dump_profile", J.Bool o.co_dump_profile);
@@ -224,6 +226,7 @@ let options_of_json json : (compile_options, string) result =
       co_inline = flag "inline" d.co_inline;
       co_clone = flag "clone" d.co_clone; co_max_ops = max_ops;
       co_policy = member_string "policy" json;
+      co_inline_mode = str "inline_mode" d.co_inline_mode;
       co_main = str "main" d.co_main; co_runner = str "runner" d.co_runner;
       co_stats = flag "stats" d.co_stats;
       co_dump_ir = flag "dump_ir" d.co_dump_ir;
@@ -235,6 +238,8 @@ let options_of_json json : (compile_options, string) result =
     Error ("unknown scope " ^ o.co_scope)
   else if not (List.mem o.co_runner [ "none"; "interp"; "sim" ]) then
     Error ("unknown runner " ^ o.co_runner)
+  else if not (List.mem o.co_inline_mode [ "whole"; "region"; "demand" ]) then
+    Error ("unknown inline mode " ^ o.co_inline_mode)
   else Ok o
 
 let module_of_json json =

@@ -51,6 +51,9 @@ type compile_options = {
       (** canonical policy text ({!Policy.to_string}); overlays the
           tuned knobs on top of the flag-derived configuration, exactly
           as `hloc --policy` does in-process *)
+  co_inline_mode : string;
+      (** "whole" | "region" | "demand"; absent on the wire means
+          "whole", so pre-mode clients interoperate unchanged *)
   co_main : string;
   co_runner : string;  (** "none" | "interp" | "sim" *)
   co_stats : bool;

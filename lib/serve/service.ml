@@ -80,12 +80,18 @@ let scope_of_string = function
   | "cp" -> Hlo.Config.CP
   | s -> invalid_arg ("Service: unknown scope " ^ s)
 
+let inline_mode_of_string s =
+  match Policy.inline_mode_of_name s with
+  | Ok m -> m
+  | Error msg -> invalid_arg ("Service: " ^ msg)
+
 let hlo_config_of (o : P.compile_options) =
   Hlo.Config.with_scope
     { Hlo.Config.default with
       Hlo.Config.budget_percent = o.P.co_budget;
       pass_limit = o.P.co_passes; enable_inlining = o.P.co_inline;
-      enable_cloning = o.P.co_clone; max_operations = o.P.co_max_ops }
+      enable_cloning = o.P.co_clone; max_operations = o.P.co_max_ops;
+      inline_mode = inline_mode_of_string o.P.co_inline_mode }
     (scope_of_string o.P.co_scope)
 
 (* Everything that changes the computed output *superset* — and nothing
@@ -103,11 +109,12 @@ let options_canon (o : P.compile_options) =
       | Error _ -> "bad:" ^ Digest.to_hex (Digest.string text))
   in
   Printf.sprintf
-    "scope=%s;budget=%h;passes=%d;inline=%b;clone=%b;max_ops=%s;main=%s;\
-     runner=%s;profile=%b;asm=%b;policy=%s"
+    "scope=%s;budget=%h;passes=%d;inline=%b;clone=%b;max_ops=%s;mode=%s;\
+     main=%s;runner=%s;profile=%b;asm=%b;policy=%s"
     o.P.co_scope o.P.co_budget o.P.co_passes o.P.co_inline o.P.co_clone
     (match o.P.co_max_ops with None -> "-" | Some n -> string_of_int n)
-    o.P.co_main o.P.co_runner o.P.co_dump_profile o.P.co_dump_asm policy
+    o.P.co_inline_mode o.P.co_main o.P.co_runner o.P.co_dump_profile
+    o.P.co_dump_asm policy
 
 (* The pieces of the superset a given client printout wants, in
    `hloc`'s print order.  [diag] always rides along (it goes to

@@ -341,6 +341,66 @@ let arbitrary_shape opts =
     ~shrink:shrink_shape (gen_shape opts)
 
 (* ------------------------------------------------------------------ *)
+(* Hot/cold-skewed shapes (region/demand inlining fodder).             *)
+
+(* One dominant path: main drives every library function [trip] times
+   from a counting loop, and each function guards a fat side path
+   behind a comparison only the last few iterations satisfy.  The
+   training profile then shows a hot spine plus blocks executed a
+   handful of times — cold under the region/demand hottest-block basis
+   yet still reached at run time (the side path writes the public
+   globals and array), exactly the shape whose handling distinguishes
+   the three inline modes. *)
+let gen_skewed_shape : shape Gen.t =
+ fun st ->
+  let nfuncs = Gen.int_range 1 3 st in
+  let trip = Gen.int_range 30 60 st in
+  let rec build i acc callable =
+    if i >= nfuncs then (List.rev acc, callable)
+    else begin
+      let name = Printf.sprintf "f%d" i in
+      let env =
+        { next_local = 0; funcs_below = callable; locals = [ "p0" ];
+          handles = [] }
+      in
+      let hot = gen_stmts tame_opts env ~depth:1 ~fuel:(Gen.int_range 1 3 st) st in
+      let threshold = trip - Gen.int_range 2 8 st in
+      let cold =
+        [ Printf.sprintf "gs = gs + p0 * %d;" (Gen.int_range 2 9 st);
+          Printf.sprintf "gt = (gt * 2 + %s) & 65535;"
+            (gen_expr tame_opts env 1 st);
+          Printf.sprintf "ga[(p0) & 15] = ga[(%s) & 15] + gt;"
+            (gen_expr tame_opts env 1 st);
+          Printf.sprintf "gs = gs - (gt & %d);" (Gen.int_range 1 255 st) ]
+      in
+      let body =
+        hot
+        @ [ Printf.sprintf "if (p0 > %d) { %s } else { }" threshold
+              (String.concat " " cold) ]
+      in
+      let fn =
+        { fn_name = name; fn_static = false; fn_params = [ "p0" ];
+          fn_body = body; fn_ret = gen_expr tame_opts env 1 st }
+      in
+      build (i + 1) (fn :: acc) ((name, 1) :: callable)
+    end
+  in
+  let funcs, callable = build 0 [] [] in
+  let calls =
+    List.map (fun (name, _) -> Printf.sprintf "gs = gs + %s(i0);" name)
+      (List.rev callable)
+  in
+  { sh_funcs = funcs;
+    sh_main =
+      [ Printf.sprintf "for (var i0 = 0; i0 < %d; i0 = i0 + 1) { %s }" trip
+          (String.concat " " calls) ] }
+
+let arbitrary_skewed_shape =
+  QCheck.make
+    ~print:(fun sh -> print_sources (render_shape sh))
+    ~shrink:shrink_shape gen_skewed_shape
+
+(* ------------------------------------------------------------------ *)
 (* Rendered-program generators (the pre-existing interface).           *)
 
 let gen_program_sources st : Minic.Compile.source list =
@@ -419,6 +479,10 @@ let gen_hlo_config : Hlo.Config.t Gen.t =
       enable_outlining = Gen.bool st;
       max_operations = (if Gen.bool st then Some (Gen.int_range 0 20 st) else None);
       optimize_between_passes = Gen.bool st;
+      inline_mode =
+        Gen.oneofl [ Policy.Whole; Policy.Whole; Policy.Region; Policy.Demand ]
+          st;
+      region_cold_fraction = float_of_int (Gen.int_range 5 95 st) /. 100.0;
       validate = true }
   in
   Hlo.Config.with_scope base scope

@@ -753,6 +753,197 @@ let test_outliner_on_workloads () =
       ignore (hlo_preserves ~config p))
     [ "124.m88ksim"; "147.vortex"; "026.compress" ]
 
+let test_outliner_never_whole_body () =
+  (* An absurd cold cut classifies every block as cold, but a region
+     can never swallow a whole routine: the entry block is structurally
+     excluded and returns may not move into the extracted routine, so a
+     hot stub always stays behind. *)
+  let p = compile outline_fixture in
+  let p = Opt.Pipeline.optimize_program p in
+  let profile = (Interp.train p).Interp.profile in
+  let greedy =
+    { Hlo.Outliner.default_config with
+      Hlo.Outliner.cold_fraction = 1000.0; min_instructions = 1 }
+  in
+  List.iter
+    (fun (r : U.routine) ->
+      List.iter
+        (fun (rg : Hlo.Outliner.region) ->
+          check_bool "entry block excluded" false
+            (U.Int_set.mem (U.entry_block r).U.b_id rg.Hlo.Outliner.rg_blocks);
+          check_bool "region strictly smaller than routine" true
+            (U.Int_set.cardinal rg.Hlo.Outliner.rg_blocks
+            < List.length r.U.r_blocks);
+          List.iter
+            (fun (b : U.block) ->
+              if U.Int_set.mem b.U.b_id rg.Hlo.Outliner.rg_blocks then
+                match b.U.b_term with
+                | U.Return _ ->
+                  Alcotest.failf "return inside region of %s" r.U.r_name
+                | _ -> ())
+            r.U.r_blocks)
+        (Hlo.Outliner.find_regions ~config:greedy ~profile r))
+    p.U.p_routines
+
+let test_outliner_zero_count_routine () =
+  (* [rare] is statically reachable (so the dead-call cleanup keeps it)
+     but the guard never fires at runtime: every block count is zero.
+     Both coldness bases then have a zero reference, and nothing is
+     "colder than" zero — no regions, under either basis. *)
+  let src = {|
+    global gs;
+    func rare(x) {
+      var v = x * 7;
+      if (v % 3 == 0) {
+        gs = gs + v * 5;
+        gs = gs - (v & 255);
+        gs = gs + 1;
+        gs = gs * 2;
+        gs = gs + x;
+        gs = gs - 4;
+      } else { }
+      return v + gs;
+    }
+    func main() {
+      var s = 0;
+      for (var i = 0; i < 100; i = i + 1) {
+        if (i > 100000) { s = s + rare(i); } else { s = s + i; }
+      }
+      print_int(s);
+      return 0;
+    }
+  |} in
+  let p = Opt.Pipeline.optimize_program (compile src) in
+  let profile = (Interp.train p).Interp.profile in
+  check_bool "profile has data (main ran)" false
+    (Ucode.Profile.is_empty profile);
+  let rare = U.find_routine_exn p "rare" in
+  let loose =
+    { Hlo.Outliner.default_config with
+      Hlo.Outliner.cold_fraction = 1000.0; min_instructions = 1 }
+  in
+  List.iter
+    (fun basis ->
+      check_int "no regions in a never-run routine" 0
+        (List.length
+           (Hlo.Outliner.find_regions ~config:loose ~basis ~profile rare)))
+    [ `Entry; `Hottest ]
+
+let test_outliner_max_inputs_overflow () =
+  (* The cold region reads many registers defined above it; each live-in
+     becomes a parameter of the outlined routine, so a tight max_inputs
+     must reject the region while a looser one accepts it. *)
+  let src = {|
+    global gs;
+    func wide(x) {
+      var a = x * 3 + 1;
+      var b = x * 5 + 2;
+      var c = x * 7 + 3;
+      var d = x * 11 + 4;
+      var v = x + 9;
+      if (x % 97 == 0) {
+        gs = gs + a * b;
+        gs = gs + c * d;
+        gs = gs + a * c;
+        gs = gs + b * d;
+        v = (a + b + c + d + gs) & 65535;
+      } else { }
+      return (v + a - b + c - d) & 65535;
+    }
+    func main() {
+      var s = 0;
+      for (var i = 0; i < 2000; i = i + 1) { s = (s + wide(i)) % 999983; }
+      print_int(s);
+      print_int(gs);
+      return 0;
+    }
+  |} in
+  let p = Opt.Pipeline.optimize_program (compile src) in
+  let profile = (Interp.train p).Interp.profile in
+  let wide = U.find_routine_exn p "wide" in
+  let with_inputs n =
+    Hlo.Outliner.find_regions
+      ~config:
+        { Hlo.Outliner.default_config with
+          Hlo.Outliner.min_instructions = 1; max_inputs = n }
+      ~profile wide
+  in
+  let generous = with_inputs 16 in
+  check_bool "region found with a generous cap" true (generous <> []);
+  let inputs =
+    match generous with
+    | rg :: _ -> List.length rg.Hlo.Outliner.rg_inputs
+    | [] -> 0
+  in
+  check_bool "region genuinely needs several live-ins" true (inputs >= 3);
+  check_int "tight max_inputs rejects the region" 0
+    (List.length (with_inputs (inputs - 1)))
+
+let clone_outline_fixture = {|
+  global log_[64];
+  global nlog = 0;
+  func work(mode, x) {
+    var v = x * 3;
+    if (mode == 0) { v = v + 1; } else { v = v * 2 + 1; }
+    if (v % 97 == 0) {
+      var code = v * 7;
+      var a = code & 255;
+      var b = (code >> 8) & 255;
+      var c = a * b + 13;
+      log_[nlog & 63] = c;
+      nlog = nlog + 1;
+      v = c ^ 5;
+    }
+    return v & 65535;
+  }
+  func main() {
+    var s = 0;
+    for (var i = 0; i < 2000; i = i + 1) { s = (s + work(0, i)) % 999983; }
+    for (var i = 0; i < 2000; i = i + 1) { s = (s + work(1, i)) % 999983; }
+    print_int(s);
+    print_int(nlog);
+    return 0;
+  }
+|}
+
+let test_outliner_inside_clones () =
+  (* Cloning first (constant [mode] arguments), then outlining: the
+     clones inherit a split of the original's profile, so their cold
+     branches are still recognizably cold and get extracted from the
+     *clone* bodies.  Checks the outliner composes with cloning rather
+     than only working on source routines. *)
+  let config =
+    { validated_config with
+      Hlo.Config.enable_cloning = true; enable_inlining = false;
+      enable_outlining = false; outline_min_instructions = 4;
+      (* Generous budget: both mode-specialized clones of [work] must be
+         affordable before the outline stage can see them. *)
+      budget_percent = 500.0;
+      stage_order =
+        [ Policy.Clone; Policy.Outline; Policy.Prune; Policy.Clean ] }
+  in
+  let res = hlo_preserves ~config (compile clone_outline_fixture) in
+  let routines = res.Hlo.Driver.program.U.p_routines in
+  let has sub (r : U.routine) =
+    let name = r.U.r_name and n = String.length sub in
+    let rec go i =
+      i + n <= String.length name && (String.sub name i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "work was cloned" true
+    (List.exists (fun r -> has "__clone" r) routines);
+  let from_clone =
+    List.filter (fun r -> has "__clone" r && has "__cold" r) routines
+  in
+  check_bool "a cold region was outlined out of a clone" true
+    (from_clone <> []);
+  List.iter
+    (fun (r : U.routine) ->
+      check_bool "clone residue is module-local" true
+        (r.U.r_linkage = U.Module_local))
+    from_clone
+
 let test_report_totals () =
   let r = Hlo.Report.create () in
   check_int "empty" 0 (Hlo.Report.total_operations r);
@@ -815,7 +1006,15 @@ let () =
           Alcotest.test_case "skips hot regions" `Quick
             test_outliner_skips_hot_regions;
           Alcotest.test_case "preserves workloads" `Slow
-            test_outliner_on_workloads ] );
+            test_outliner_on_workloads;
+          Alcotest.test_case "never whole body" `Quick
+            test_outliner_never_whole_body;
+          Alcotest.test_case "zero-count routine" `Quick
+            test_outliner_zero_count_routine;
+          Alcotest.test_case "max_inputs overflow" `Quick
+            test_outliner_max_inputs_overflow;
+          Alcotest.test_case "outlines inside clones" `Quick
+            test_outliner_inside_clones ] );
       ( "driver",
         [ Alcotest.test_case "zero budget" `Quick test_driver_zero_budget;
           Alcotest.test_case "max operations" `Quick test_driver_max_operations;

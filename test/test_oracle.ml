@@ -277,12 +277,28 @@ let clone_only_check =
       { Oracle.default_check.Oracle.ck_config with
         Hlo.Config.enable_inlining = false } }
 
+(* A starved region-mode configuration: the tight budget makes every
+   whole-body candidate unaffordable, so the inliner splits callees
+   through the outliner on each corpus program — the only code path
+   where [Region_lost_cold_path] can strike. *)
+let region_check =
+  { Oracle.default_check with
+    Oracle.ck_config =
+      { Oracle.default_check.Oracle.ck_config with
+        Hlo.Config.inline_mode = Policy.Region;
+        budget_percent = 2.0;
+        region_cold_fraction = 0.6 } }
+
 let chaos_case i =
   let corpus = Lazy.force corpus_cases in
   let n = List.length corpus in
-  if i < 2 * n then
+  if i < 3 * n then
     let name, sources = List.nth corpus (i mod n) in
-    let check = if i < n then Oracle.default_check else clone_only_check in
+    let check =
+      if i < n then Oracle.default_check
+      else if i < 2 * n then clone_only_check
+      else region_check
+    in
     { Oracle.Fuzz.c_label = Printf.sprintf "corpus:%s" name;
       c_sources = sources;
       c_check = check }

@@ -514,6 +514,59 @@ let test_service_policy () =
   | P.Failed { kind; _ } -> check_string "bad policy kind" "bad_request" kind
   | _ -> Alcotest.fail "expected Failed on a bad policy"
 
+(* The inline mode rides the request like a policy does: absent on the
+   wire it defaults to "whole" (old clients keep working and keep their
+   cache keys), unknown names are rejected at decode time, and each
+   mode lands in the artifact key so whole/region/demand compiles of
+   the same sources never alias. *)
+let test_service_inline_mode () =
+  (match
+     P.request_of_json
+       (J.Assoc
+          [ ("op", J.String "compile");
+            ( "modules",
+              J.List
+                [ J.Assoc
+                    [ ("name", J.String "m");
+                      ("source", J.String "func main() { return 0; }") ] ] ) ])
+   with
+  | Ok (P.Compile { options; _ }) ->
+    check_string "wire default is whole" "whole" options.P.co_inline_mode
+  | Ok _ -> Alcotest.fail "unexpected request"
+  | Error msg -> Alcotest.fail msg);
+  (match
+     P.request_of_json
+       (P.request_to_json
+          (P.Compile
+             { modules = sample_modules;
+               options = { full_options with P.co_inline_mode = "eager" } }))
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown inline mode must not decode");
+  let region_opts = { full_options with P.co_inline_mode = "region" } in
+  (match
+     P.request_of_json
+       (P.request_to_json
+          (P.Compile { modules = sample_modules; options = region_opts }))
+   with
+  | Ok (P.Compile { options; _ }) ->
+    check_string "region round-trips" "region" options.P.co_inline_mode
+  | _ -> Alcotest.fail "region request must decode");
+  let svc = S.create (service_config ()) in
+  let whole = expect_compiled (S.handle svc (compile_req full_options)) in
+  let region = expect_compiled (S.handle svc (compile_req region_opts)) in
+  check_bool "mode changes the key" true (region.key <> whole.key);
+  check_string "region compile is a miss" "miss" region.cache;
+  let again = expect_compiled (S.handle svc (compile_req region_opts)) in
+  check_string "same mode hits" "hit" again.cache;
+  let demand =
+    expect_compiled
+      (S.handle svc
+         (compile_req { full_options with P.co_inline_mode = "demand" }))
+  in
+  check_bool "demand distinct from both" true
+    (demand.key <> whole.key && demand.key <> region.key)
+
 let test_service_failure_parity () =
   let svc = S.create (service_config ()) in
   let bad = [ ("main", "func main( { return }") ] in
@@ -867,6 +920,8 @@ let () =
            test_service_cache_and_selection;
          Alcotest.test_case "policy in the cache key" `Quick
            test_service_policy;
+         Alcotest.test_case "inline mode in the cache key" `Quick
+           test_service_inline_mode;
          Alcotest.test_case "failure parity" `Quick
            test_service_failure_parity;
          Alcotest.test_case "admission reject" `Quick
